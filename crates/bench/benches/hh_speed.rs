@@ -1,0 +1,46 @@
+//! Figure 5 (a, c, e): single-device heavy-hitter update speed as a function
+//! of the sampling probability τ, for 64/512/4096 counters.
+//!
+//! WCSS is Memento with τ = 1, so the τ = 1 group is the WCSS reference the
+//! paper compares against. Run with `cargo bench -p memento-bench --bench
+//! hh_speed`; see `src/bin/fig05_hh_speed.rs` for the CSV-producing variant.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use memento_bench::make_trace;
+use memento_core::Memento;
+use memento_traces::TracePreset;
+
+fn bench_hh_speed(c: &mut Criterion) {
+    let packets = 100_000;
+    let trace = make_trace(&TracePreset::backbone(), packets, 1);
+    let window = 50_000;
+
+    let mut group = c.benchmark_group("fig5_hh_speed/backbone");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &counters in &[64usize, 512, 4096] {
+        for i in [0i32, 2, 4, 6, 8, 10] {
+            let tau = 2f64.powi(-i);
+            let id = BenchmarkId::new(format!("counters{counters}"), format!("tau_2^-{i}"));
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let mut memento = Memento::new(counters, window, tau, 7);
+                    for pkt in &trace {
+                        memento.update(pkt.flow());
+                    }
+                    memento.processed()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hh_speed);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 6: H-Memento vs the window-MST "Baseline" — hierarchical
+//! heavy-hitter update speed on sliding windows, 1D (H = 5) and 2D (H = 25).
+//!
+//! The Baseline performs `H` Full window updates per packet; H-Memento
+//! performs at most one. Run with `cargo bench -p memento-bench --bench
+//! hhh_speed`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use memento_baselines::WindowMst;
+use memento_bench::make_trace;
+use memento_core::HMemento;
+use memento_hierarchy::{SrcDstHierarchy, SrcHierarchy};
+use memento_traces::TracePreset;
+
+fn bench_hhh_speed(c: &mut Criterion) {
+    let packets = 50_000;
+    let trace = make_trace(&TracePreset::backbone(), packets, 2);
+    let window = 25_000;
+    let counters_per_level = 512;
+
+    let mut group = c.benchmark_group("fig6_hhh_speed");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // --- 1D source hierarchy (H = 5) -------------------------------------
+    for i in [0i32, 4, 8] {
+        // The paper keeps the effective per-prefix rate at >= 2^-10.
+        let tau = (5.0 * 2f64.powi(-10)).max(2f64.powi(-i)).min(1.0);
+        group.bench_function(BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut hm = HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 3);
+                for pkt in &trace {
+                    hm.update(pkt.src);
+                }
+                hm.processed()
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::new("1d/baseline_window_mst", "full"), |b| {
+        b.iter(|| {
+            let mut baseline = WindowMst::new(SrcHierarchy, counters_per_level, window);
+            for pkt in &trace {
+                baseline.update(pkt.src);
+            }
+            baseline.counters()
+        })
+    });
+
+    // --- 2D source x destination hierarchy (H = 25) ----------------------
+    for i in [0i32, 4, 8] {
+        let tau = (25.0 * 2f64.powi(-10)).max(2f64.powi(-i)).min(1.0);
+        group.bench_function(BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut hm =
+                    HMemento::new(SrcDstHierarchy, 25 * counters_per_level, window, tau, 0.01, 3);
+                for pkt in &trace {
+                    hm.update(pkt.src_dst());
+                }
+                hm.processed()
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::new("2d/baseline_window_mst", "full"), |b| {
+        b.iter(|| {
+            let mut baseline = WindowMst::new(SrcDstHierarchy, counters_per_level, window);
+            for pkt in &trace {
+                baseline.update(pkt.src_dst());
+            }
+            baseline.counters()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hhh_speed);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 7: H-Memento (sliding window) vs RHHH (interval) update speed,
+//! 1D (H = 5) and 2D (H = 25).
+//!
+//! Both algorithms pay for one summary update per sampled packet; the
+//! difference is in the per-packet fixed cost (H-Memento's Window update and
+//! table-based sampling vs RHHH's geometric skip counter). Run with
+//! `cargo bench -p memento-bench --bench hhh_vs_interval`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use memento_baselines::Rhhh;
+use memento_bench::make_trace;
+use memento_core::HMemento;
+use memento_hierarchy::{SrcDstHierarchy, SrcHierarchy};
+use memento_traces::TracePreset;
+
+fn bench_hhh_vs_interval(c: &mut Criterion) {
+    let packets = 100_000;
+    let trace = make_trace(&TracePreset::backbone(), packets, 3);
+    let window = 50_000;
+    let counters_per_level = 512;
+
+    let mut group = c.benchmark_group("fig7_hhh_vs_rhhh");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for i in [2i32, 5, 8] {
+        let tau = 2f64.powi(-i);
+        group.bench_function(BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut hm = HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 9);
+                for pkt in &trace {
+                    hm.update(pkt.src);
+                }
+                hm.full_updates()
+            })
+        });
+        group.bench_function(BenchmarkId::new("1d/rhhh", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut rhhh = Rhhh::new(SrcHierarchy, counters_per_level, tau, 0.01, 9);
+                for pkt in &trace {
+                    rhhh.update(pkt.src);
+                }
+                rhhh.updates()
+            })
+        });
+        group.bench_function(BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut hm =
+                    HMemento::new(SrcDstHierarchy, 25 * counters_per_level, window, tau, 0.01, 9);
+                for pkt in &trace {
+                    hm.update(pkt.src_dst());
+                }
+                hm.full_updates()
+            })
+        });
+        group.bench_function(BenchmarkId::new("2d/rhhh", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut rhhh = Rhhh::new(SrcDstHierarchy, counters_per_level, tau, 0.01, 9);
+                for pkt in &trace {
+                    rhhh.update(pkt.src_dst());
+                }
+                rhhh.updates()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hhh_vs_interval);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 1b — detection time of a new heavy hitter vs. its frequency, for
+//! the Interval, improved-Interval and sliding-Window measurement
+//! disciplines (exact counting, as in §3 of the paper).
+//!
+//! Output: CSV with the expected detection time (in windows) for each method
+//! as a function of the ratio between the new flow's normalized frequency
+//! and the detection threshold.
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig01_detection [--full]
+//! ```
+
+use memento_baselines::detectors::{
+    detection_index, Detector, ImprovedIntervalDetector, IntervalDetector, WindowDetector,
+};
+use memento_bench::{csv_header, csv_row, scaled};
+use memento_traces::{EmergingFlowScenario, Packet, TraceGenerator, TracePreset};
+
+fn mean_detection_windows<D, F>(make: F, window: usize, fraction: f64, trials: usize) -> f64
+where
+    D: Detector<u64>,
+    F: Fn(u64) -> D,
+{
+    let target_flow = Packet::from_octets([250, 250, 250, 250], [9, 9, 9, 9]);
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let base = TraceGenerator::new(TracePreset::edge(), 100 + trial as u64);
+        // The flow appears somewhere inside the second window.
+        let start = window + (trial * window / trials.max(1)) % window;
+        let scenario =
+            EmergingFlowScenario::new(base, target_flow, fraction, start, 7 + trial as u64);
+        let mut detector = make(trial as u64);
+        let stream = scenario.map(|p| p.flow()).take(start + 12 * window);
+        let idx = detection_index(&mut detector, stream);
+        let detected_at = idx.unwrap_or(start + 12 * window);
+        total += (detected_at.saturating_sub(start)) as f64 / window as f64;
+    }
+    total / trials as f64
+}
+
+fn main() {
+    let window = scaled(10_000, 100_000);
+    let theta = 0.01;
+    let threshold = (theta * window as f64) as u64;
+    let trials = scaled(5, 9);
+    let target = Packet::from_octets([250, 250, 250, 250], [9, 9, 9, 9]).flow();
+
+    eprintln!("# Figure 1b: detection time vs frequency/threshold ratio (W={window}, theta={theta})");
+    csv_header(&["freq_over_threshold", "window", "improved_interval", "interval"]);
+    let mut ratio = 1.05;
+    while ratio <= 3.01 {
+        let fraction = ratio * theta;
+        let win = mean_detection_windows(
+            |_| WindowDetector::new(window, target, threshold),
+            window,
+            fraction,
+            trials,
+        );
+        let imp = mean_detection_windows(
+            |_| ImprovedIntervalDetector::new(window, target, threshold),
+            window,
+            fraction,
+            trials,
+        );
+        let interval = mean_detection_windows(
+            |_| IntervalDetector::new(window, target, threshold),
+            window,
+            fraction,
+            trials,
+        );
+        csv_row(&[
+            format!("{ratio:.2}"),
+            format!("{win:.3}"),
+            format!("{imp:.3}"),
+            format!("{interval:.3}"),
+        ]);
+        ratio += if ratio < 1.5 { 0.05 } else { 0.25 };
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 4 — analytic accuracy guarantees of the Sample, 100-Batch and
+//! optimal-Batch synchronization methods as a function of the per-packet
+//! bandwidth budget B (Theorem 5.5).
+//!
+//! Output: CSV with, for each budget, the total error bound of each method
+//! and the split between delay error and sampling error (the hatched part of
+//! the paper's figure), plus the optimal batch size.
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig04_budget_bounds
+//! ```
+
+use memento_bench::{csv_header, csv_row};
+use memento_core::analysis::NetworkBudget;
+
+fn main() {
+    let base = NetworkBudget {
+        header_overhead: 64.0,
+        sample_bytes: 4.0,
+        points: 10,
+        hierarchy: 5,
+        window: 1_000_000,
+        delta: 0.0001,
+        budget: 1.0,
+    };
+
+    eprintln!(
+        "# Figure 4: error bounds vs bandwidth budget (O={}, E={}, m={}, H={}, W={}, delta={})",
+        base.header_overhead, base.sample_bytes, base.points, base.hierarchy, base.window, base.delta
+    );
+    csv_header(&[
+        "budget_bytes_per_pkt",
+        "sample_total",
+        "sample_delay",
+        "batch100_total",
+        "batch100_delay",
+        "batch_opt_total",
+        "batch_opt_delay",
+        "optimal_b",
+    ]);
+
+    let mut budget_bytes = 0.5;
+    while budget_bytes <= 8.01 {
+        let mut model = base;
+        model.budget = budget_bytes;
+        let (sample_delay, sample_sampling) = model.error_components(1);
+        let (b100_delay, b100_sampling) = model.error_components(100);
+        let (opt_b, opt_total) = model.optimal_batch(2_000);
+        let (opt_delay, _) = model.error_components(opt_b);
+        csv_row(&[
+            format!("{budget_bytes:.1}"),
+            format!("{:.0}", sample_delay + sample_sampling),
+            format!("{sample_delay:.0}"),
+            format!("{:.0}", b100_delay + b100_sampling),
+            format!("{b100_delay:.0}"),
+            format!("{opt_total:.0}"),
+            format!("{opt_delay:.0}"),
+            format!("{opt_b}"),
+        ]);
+        budget_bytes += 0.5;
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 5 (b, d, f) — single-device heavy-hitter on-arrival RMSE vs the
+//! sampling probability τ, for 64/512/4096 counters, on the three traces.
+//!
+//! For every sampled arrival the estimate of the arriving packet's flow is
+//! compared against the exact sliding-window count (the paper's On Arrival
+//! model). Output: CSV of RMSE per (trace, counters, τ).
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig05_hh_error [--full]
+//! ```
+
+use memento_bench::{csv_header, csv_row, make_trace, scaled, Rmse, COUNTER_SWEEP};
+use memento_core::Memento;
+use memento_sketches::ExactWindow;
+use memento_traces::TracePreset;
+
+fn main() {
+    let packets = scaled(200_000, 16_000_000);
+    let window = scaled(80_000, 5_000_000);
+    // Estimate every k-th arrival to keep the harness fast; the RMSE is a
+    // property of the estimator, not of how often we probe it.
+    let probe_every = scaled(10, 100);
+
+    eprintln!("# Figure 5 (error): N={packets}, W={window}, on-arrival RMSE; tau=1 is WCSS");
+    csv_header(&["trace", "counters", "tau_exponent", "tau", "rmse"]);
+
+    for preset in TracePreset::all() {
+        let trace = make_trace(&preset, packets, 13);
+        for &counters in &COUNTER_SWEEP {
+            for i in [0i32, 2, 4, 6, 8, 10] {
+                let tau = 2f64.powi(-i);
+                let mut memento = Memento::new(counters, window, tau, 3);
+                let mut exact = ExactWindow::new(window);
+                let mut rmse = Rmse::new();
+                for (n, pkt) in trace.iter().enumerate() {
+                    let flow = pkt.flow();
+                    // On-arrival: estimate the arriving packet's flow first.
+                    if n > window && n % probe_every == 0 {
+                        rmse.record(memento.estimate(&flow), exact.query(&flow) as f64);
+                    }
+                    memento.update(flow);
+                    exact.add(flow);
+                }
+                csv_row(&[
+                    preset.name.to_string(),
+                    counters.to_string(),
+                    format!("-{i}"),
+                    format!("{tau:.6}"),
+                    format!("{:.1}", rmse.value()),
+                ]);
+            }
+        }
+    }
+}

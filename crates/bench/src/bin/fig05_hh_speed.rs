@@ -1,0 +1,42 @@
+//! Figure 5 (a, c, e) — single-device heavy-hitter update speed vs the
+//! sampling probability τ, for 64/512/4096 counters, on the three traces.
+//!
+//! WCSS corresponds to the τ = 1 column. Output: CSV of million packets per
+//! second per (trace, counters, τ).
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig05_hh_speed [--full]
+//! ```
+
+use memento_bench::{csv_header, csv_row, make_trace, measure_mpps, scaled, tau_sweep, COUNTER_SWEEP};
+use memento_core::Memento;
+use memento_traces::TracePreset;
+
+fn main() {
+    let packets = scaled(300_000, 16_000_000);
+    let window = scaled(100_000, 5_000_000);
+
+    eprintln!("# Figure 5 (speed): N={packets}, W={window}; tau=1 is WCSS");
+    csv_header(&["trace", "counters", "tau_exponent", "tau", "mpps"]);
+
+    for preset in TracePreset::all() {
+        let trace = make_trace(&preset, packets, 11);
+        for &counters in &COUNTER_SWEEP {
+            for (i, &tau) in tau_sweep().iter().enumerate() {
+                let mut memento = Memento::new(counters, window, tau, 5);
+                let mpps = measure_mpps(packets, || {
+                    for pkt in &trace {
+                        memento.update(pkt.flow());
+                    }
+                });
+                csv_row(&[
+                    preset.name.to_string(),
+                    counters.to_string(),
+                    format!("-{i}"),
+                    format!("{tau:.6}"),
+                    format!("{mpps:.2}"),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 7 — H-Memento (sliding window) vs RHHH (interval) update speed on
+//! the backbone trace, 1D (H=5) and 2D (H=25).
+//!
+//! Output: CSV of million packets per second per (dimension, algorithm, τ).
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig07_vs_rhhh [--full]
+//! ```
+
+use memento_baselines::Rhhh;
+use memento_bench::{csv_header, csv_row, make_trace, measure_mpps, scaled};
+use memento_core::HMemento;
+use memento_hierarchy::{Hierarchy, SrcDstHierarchy, SrcHierarchy};
+use memento_traces::TracePreset;
+
+fn run_dim<Hi: Hierarchy>(
+    hier: Hi,
+    packets: usize,
+    window: usize,
+    counters_per_level: usize,
+    to_item: impl Fn(&memento_traces::Packet) -> Hi::Item,
+) where
+    Hi::Prefix: std::hash::Hash,
+{
+    let trace = make_trace(&TracePreset::backbone(), packets, 19);
+    let h = hier.h();
+    let dim = if hier.dimensions() == 1 { "1d" } else { "2d" };
+    for i in 0..=10 {
+        let tau = 2f64.powi(-i);
+        let mut hm = HMemento::new(hier.clone(), h * counters_per_level, window, tau, 0.01, 3);
+        let hm_mpps = measure_mpps(packets, || {
+            for pkt in &trace {
+                hm.update(to_item(pkt));
+            }
+        });
+        let mut rhhh = Rhhh::new(hier.clone(), counters_per_level, tau, 0.01, 3);
+        let rhhh_mpps = measure_mpps(packets, || {
+            for pkt in &trace {
+                rhhh.update(to_item(pkt));
+            }
+        });
+        csv_row(&[
+            dim.to_string(),
+            "h_memento".to_string(),
+            format!("{tau:.6}"),
+            format!("{hm_mpps:.2}"),
+        ]);
+        csv_row(&[
+            dim.to_string(),
+            "rhhh".to_string(),
+            format!("{tau:.6}"),
+            format!("{rhhh_mpps:.2}"),
+        ]);
+    }
+}
+
+fn main() {
+    let packets = scaled(200_000, 8_000_000);
+    let window = scaled(80_000, 1_000_000);
+    let counters_per_level = 512;
+    eprintln!("# Figure 7: H-Memento vs RHHH, backbone trace, N={packets}, W={window}");
+    csv_header(&["dimension", "algorithm", "tau", "mpps"]);
+    run_dim(SrcHierarchy, packets, window, counters_per_level, |p| p.src);
+    run_dim(SrcDstHierarchy, packets, window, counters_per_level, |p| {
+        p.src_dst()
+    });
+}

@@ -1,0 +1,81 @@
+//! Figure 9 — network-wide accuracy under a 1-byte-per-packet budget for the
+//! Aggregation, Sample and Batch communication methods, on the three traces.
+//!
+//! Ten measurement points feed a D-H-Memento controller (or the idealized
+//! Aggregation controller); the on-arrival RMSE of the arriving packet's
+//! source prefixes is measured against the exact network-wide window.
+//! Output: CSV of RMSE per (trace, method, prefix length).
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin fig09_netwide_error [--full]
+//! ```
+
+use memento_bench::{csv_header, csv_row, make_trace, scaled, Rmse};
+use memento_core::analysis::NetworkBudget;
+use memento_hierarchy::{Hierarchy, SrcHierarchy};
+use memento_netwide::{CommMethod, NetworkSimulator, SimConfig, WireFormat};
+use memento_traces::TracePreset;
+
+fn main() {
+    let window = scaled(50_000, 1_000_000);
+    let packets = scaled(150_000, 3_000_000);
+    let probe_every = scaled(25, 250);
+    let budget = 1.0;
+    let hier = SrcHierarchy;
+
+    // The batch size the paper's analysis recommends for this budget.
+    let model = NetworkBudget {
+        header_overhead: 64.0,
+        sample_bytes: 4.0,
+        points: 10,
+        hierarchy: hier.h(),
+        window,
+        delta: 0.0001,
+        budget,
+    };
+    let (opt_b, _) = model.optimal_batch(2_000);
+
+    eprintln!("# Figure 9: network-wide RMSE, B={budget} byte/pkt, W={window}, N={packets}, batch b*={opt_b}");
+    csv_header(&["trace", "method", "prefix_len_bits", "rmse"]);
+
+    for preset in TracePreset::all() {
+        let trace = make_trace(&preset, packets, 29);
+        for method in [CommMethod::Aggregation, CommMethod::Sample, CommMethod::Batch(opt_b)] {
+            let config = SimConfig {
+                points: 10,
+                window,
+                budget,
+                counters: 4_096,
+                method,
+                delta: 0.01,
+                seed: 31,
+            };
+            let mut sim = NetworkSimulator::new(hier, config, WireFormat::tcp_src());
+            let mut rmse = vec![Rmse::new(); hier.h()];
+            for (n, pkt) in trace.iter().enumerate() {
+                if n > window && n % probe_every == 0 {
+                    for level in 0..hier.h() {
+                        let prefix = hier.prefix_at(pkt.src, level);
+                        rmse[level].record(sim.estimate(&prefix), sim.exact(&prefix) as f64);
+                    }
+                }
+                sim.process(pkt.src);
+            }
+            for (level, r) in rmse.iter().enumerate() {
+                csv_row(&[
+                    preset.name.to_string(),
+                    method.name(),
+                    (32 - 8 * level).to_string(),
+                    format!("{:.1}", r.value()),
+                ]);
+            }
+            eprintln!(
+                "#   {} / {}: {:.3} bytes/pkt used, {} reports",
+                preset.name,
+                method.name(),
+                sim.bytes_per_packet(),
+                sim.reports()
+            );
+        }
+    }
+}

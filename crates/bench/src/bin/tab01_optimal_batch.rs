@@ -1,0 +1,52 @@
+//! The worked example of §5.2 as a table: optimal batch sizes and error
+//! guarantees for several budgets, window sizes and hierarchies.
+//!
+//! ```text
+//! cargo run -p memento-bench --release --bin tab01_optimal_batch
+//! ```
+
+use memento_bench::{csv_header, csv_row};
+use memento_core::analysis::NetworkBudget;
+
+fn main() {
+    eprintln!("# Optimal batch sizes (Theorem 5.5), TCP transport, m=10, delta=0.01%");
+    csv_header(&[
+        "hierarchy",
+        "window",
+        "budget_bytes_per_pkt",
+        "optimal_b",
+        "error_packets",
+        "error_percent",
+        "paper_reported",
+    ]);
+
+    let cases = [
+        // (H, E, W, B, what the paper's prose reports)
+        (5usize, 4.0, 1_000_000usize, 1.0, "b=44, err~13K (1.3%)"),
+        (5, 4.0, 1_000_000, 5.0, "b=68, err~5.3K (0.53%)"),
+        (5, 4.0, 10_000_000, 1.0, "b=109, err~0.15% (see EXPERIMENTS.md)"),
+        (25, 8.0, 1_000_000, 1.0, "larger error, larger b than 1D"),
+    ];
+
+    for (h, sample_bytes, window, budget, note) in cases {
+        let model = NetworkBudget {
+            header_overhead: 64.0,
+            sample_bytes,
+            points: 10,
+            hierarchy: h,
+            window,
+            delta: 0.0001,
+            budget,
+        };
+        let (b, err) = model.optimal_batch(5_000);
+        csv_row(&[
+            format!("{h}"),
+            format!("{window}"),
+            format!("{budget}"),
+            format!("{b}"),
+            format!("{err:.0}"),
+            format!("{:.3}", 100.0 * err / window as f64),
+            note.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,151 @@
+//! # memento-bench
+//!
+//! Benchmark and figure-regeneration harness for the Memento reproduction.
+//!
+//! Each figure of the paper's evaluation has a dedicated binary under
+//! `src/bin/` that prints the same series the paper plots as CSV on stdout
+//! (see `DESIGN.md` §6 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results). The Criterion benches under `benches/` measure the
+//! speed comparisons (Figures 5–7) with statistical rigor.
+//!
+//! All harnesses run at a laptop-friendly scale by default; pass `--full`
+//! (or set `MEMENTO_FULL=1`) to use the paper-scale parameters (windows of
+//! millions of packets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use memento_traces::{Packet, TraceGenerator, TracePreset};
+
+/// True when the harness should run at paper scale (`--full` argument or
+/// `MEMENTO_FULL=1`).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full") || std::env::var("MEMENTO_FULL").is_ok()
+}
+
+/// Picks between the laptop-scale and paper-scale value of a parameter.
+pub fn scaled(small: usize, full: usize) -> usize {
+    if full_scale() {
+        full
+    } else {
+        small
+    }
+}
+
+/// The τ sweep used by the paper's speed/accuracy figures: 2⁰ … 2⁻¹⁰.
+pub fn tau_sweep() -> Vec<f64> {
+    (0..=10).map(|i| 2f64.powi(-i)).collect()
+}
+
+/// The counter configurations of Figure 5.
+pub const COUNTER_SWEEP: [usize; 3] = [64, 512, 4096];
+
+/// Pre-generates a packet trace for a preset.
+pub fn make_trace(preset: &TracePreset, packets: usize, seed: u64) -> Vec<Packet> {
+    let mut gen = TraceGenerator::new(preset.clone(), seed);
+    gen.generate(packets)
+}
+
+/// Measures the throughput of `run` over `packets` items and returns
+/// million packets per second.
+pub fn measure_mpps<F: FnMut()>(packets: usize, mut run: F) -> f64 {
+    let start = Instant::now();
+    run();
+    let elapsed = start.elapsed().as_secs_f64();
+    packets as f64 / elapsed / 1e6
+}
+
+/// Prints a CSV header line.
+pub fn csv_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+/// Prints one CSV row from string-able cells.
+pub fn csv_row(cells: &[String]) {
+    println!("{}", cells.join(","));
+}
+
+/// Root-mean-square error accumulator (same semantics as the paper's
+/// on-arrival RMSE).
+#[derive(Debug, Clone, Default)]
+pub struct Rmse {
+    sum_sq: f64,
+    n: u64,
+}
+
+impl Rmse {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Rmse::default()
+    }
+
+    /// Records one (estimate, exact) pair.
+    pub fn record(&mut self, estimate: f64, exact: f64) {
+        let d = estimate - exact;
+        self.sum_sq += d * d;
+        self.n += 1;
+    }
+
+    /// The RMSE over everything recorded (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.n as f64).sqrt()
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_sweep_spans_paper_range() {
+        let sweep = tau_sweep();
+        assert_eq!(sweep.len(), 11);
+        assert_eq!(sweep[0], 1.0);
+        assert!((sweep[10] - 2f64.powi(-10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_picks_by_mode() {
+        // In the test environment --full is not set.
+        assert_eq!(scaled(10, 1000), 10);
+    }
+
+    #[test]
+    fn rmse_math() {
+        let mut r = Rmse::new();
+        r.record(2.0, 0.0);
+        r.record(0.0, 2.0);
+        assert_eq!(r.count(), 2);
+        assert!((r.value() - 2.0).abs() < 1e-12);
+        assert_eq!(Rmse::new().value(), 0.0);
+    }
+
+    #[test]
+    fn make_trace_produces_requested_length() {
+        let t = make_trace(&TracePreset::tiny(), 1000, 1);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn measure_mpps_is_positive() {
+        let mut acc = 0u64;
+        let mpps = measure_mpps(10_000, || {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+        });
+        assert!(mpps > 0.0);
+        assert!(acc > 0);
+    }
+}

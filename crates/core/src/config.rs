@@ -1,0 +1,181 @@
+//! Validated configuration / builder for the Memento algorithms.
+
+use crate::error::ConfigError;
+
+/// Configuration for a [`Memento`](crate::Memento) (or
+/// [`Wcss`](crate::Wcss) / [`HMemento`](crate::HMemento)) instance.
+///
+/// Two equivalent ways to size the summary are supported, mirroring the
+/// paper: an explicit number of counters (as in the evaluation, e.g.
+/// 64/512/4096), or an algorithm error `ε_a` from which `k = ⌈4/ε_a⌉`
+/// counters are allocated (as in Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MementoConfig {
+    /// Sliding-window size `W` in packets.
+    pub window: usize,
+    /// Number of Space-Saving counters.
+    pub counters: usize,
+    /// Full-update probability `τ`.
+    pub tau: f64,
+    /// RNG seed (derived sub-seeds are used internally).
+    pub seed: u64,
+}
+
+impl MementoConfig {
+    /// Starts building a configuration for a window of `window` packets.
+    pub fn builder(window: usize) -> MementoConfigBuilder {
+        MementoConfigBuilder {
+            window,
+            counters: None,
+            epsilon: None,
+            tau: 1.0,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::InvalidWindow("window must be positive".into()));
+        }
+        if self.counters == 0 {
+            return Err(ConfigError::InvalidCounters(
+                "at least one counter is required".into(),
+            ));
+        }
+        if !(self.tau > 0.0 && self.tau <= 1.0) {
+            return Err(ConfigError::InvalidTau(self.tau));
+        }
+        Ok(())
+    }
+
+    /// The block size `W / k` (at least 1).
+    pub fn block_size(&self) -> usize {
+        (self.window / self.counters).max(1)
+    }
+}
+
+/// Builder for [`MementoConfig`].
+#[derive(Debug, Clone)]
+pub struct MementoConfigBuilder {
+    window: usize,
+    counters: Option<usize>,
+    epsilon: Option<f64>,
+    tau: f64,
+    seed: u64,
+}
+
+impl MementoConfigBuilder {
+    /// Sets an explicit number of counters.
+    pub fn counters(mut self, counters: usize) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Sizes the summary from an algorithm error `ε_a` (`k = ⌈4/ε_a⌉`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Sets the Full-update probability `τ` (default 1, i.e. WCSS).
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    pub fn build(self) -> Result<MementoConfig, ConfigError> {
+        let counters = match (self.counters, self.epsilon) {
+            (Some(c), _) => c,
+            (None, Some(eps)) => {
+                if !(eps > 0.0 && eps < 1.0) {
+                    return Err(ConfigError::InvalidEpsilon(eps));
+                }
+                (4.0 / eps).ceil() as usize
+            }
+            (None, None) => {
+                return Err(ConfigError::InvalidCounters(
+                    "either counters or epsilon must be provided".into(),
+                ))
+            }
+        };
+        let config = MementoConfig {
+            window: self.window,
+            counters,
+            tau: self.tau,
+            seed: self.seed,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_sizes_counters_as_4_over_eps() {
+        let c = MementoConfig::builder(1_000_000)
+            .epsilon(0.001)
+            .build()
+            .unwrap();
+        assert_eq!(c.counters, 4000);
+        assert_eq!(c.block_size(), 250);
+    }
+
+    #[test]
+    fn explicit_counters_take_precedence() {
+        let c = MementoConfig::builder(1000)
+            .counters(64)
+            .epsilon(0.5)
+            .tau(0.25)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.counters, 64);
+        assert_eq!(c.tau, 0.25);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            MementoConfig::builder(0).counters(8).build(),
+            Err(ConfigError::InvalidWindow(_))
+        ));
+        assert!(matches!(
+            MementoConfig::builder(100).counters(0).build(),
+            Err(ConfigError::InvalidCounters(_))
+        ));
+        assert!(matches!(
+            MementoConfig::builder(100).counters(8).tau(0.0).build(),
+            Err(ConfigError::InvalidTau(_))
+        ));
+        assert!(matches!(
+            MementoConfig::builder(100).counters(8).tau(1.5).build(),
+            Err(ConfigError::InvalidTau(_))
+        ));
+        assert!(matches!(
+            MementoConfig::builder(100).epsilon(0.0).build(),
+            Err(ConfigError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            MementoConfig::builder(100).build(),
+            Err(ConfigError::InvalidCounters(_))
+        ));
+    }
+
+    #[test]
+    fn block_size_is_at_least_one() {
+        let c = MementoConfig::builder(10).counters(100).build().unwrap();
+        assert_eq!(c.block_size(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for configuration validation.
+
+use std::fmt;
+
+/// Error returned when an algorithm configuration is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The window size must be positive and at least as large as one block.
+    InvalidWindow(String),
+    /// The number of counters (or the error parameter that determines it)
+    /// is out of range.
+    InvalidCounters(String),
+    /// The sampling probability is out of `(0, 1]`.
+    InvalidTau(f64),
+    /// The confidence parameter is out of `(0, 1)`.
+    InvalidDelta(f64),
+    /// The error parameter is out of `(0, 1)`.
+    InvalidEpsilon(f64),
+    /// The threshold parameter is out of `(0, 1)`.
+    InvalidThreshold(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidWindow(msg) => write!(f, "invalid window: {msg}"),
+            ConfigError::InvalidCounters(msg) => write!(f, "invalid counters: {msg}"),
+            ConfigError::InvalidTau(tau) => {
+                write!(f, "sampling probability must be in (0, 1], got {tau}")
+            }
+            ConfigError::InvalidDelta(d) => {
+                write!(f, "confidence parameter must be in (0, 1), got {d}")
+            }
+            ConfigError::InvalidEpsilon(e) => {
+                write!(f, "error parameter must be in (0, 1), got {e}")
+            }
+            ConfigError::InvalidThreshold(t) => {
+                write!(f, "threshold must be in (0, 1), got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::InvalidTau(1.7);
+        assert!(e.to_string().contains("1.7"));
+        let e = ConfigError::InvalidWindow("zero".into());
+        assert!(e.to_string().contains("zero"));
+        let e = ConfigError::InvalidEpsilon(0.0);
+        assert!(e.to_string().contains('0'));
+    }
+}

@@ -1,0 +1,593 @@
+//! The Memento sliding-window heavy-hitters algorithm (Algorithm 1 of the
+//! paper).
+//!
+//! # How it works
+//!
+//! Memento maintains a window of the last `W` packets, conceptually divided
+//! into `k` *blocks* (`k` = number of counters). It keeps:
+//!
+//! * `y` — a [Space Saving](memento_sketches::SpaceSaving) instance counting
+//!   the current *frame* (a `W`-aligned segment of the stream), flushed at
+//!   every frame boundary;
+//! * `B` — a table mapping flows to the number of times they *overflowed*
+//!   (crossed a multiple of the block size) inside the window;
+//! * `b` — a [queue of per-block queues](memento_sketches::OverflowQueue)
+//!   remembering *which* flows overflowed in each block still covered by the
+//!   window, so that their `B` entries can be retired when the block slides
+//!   out.
+//!
+//! Each packet triggers one of two operations:
+//!
+//! * **Window update** (every packet): advance the window position, rotate
+//!   the block queues at block boundaries, flush `y` at frame boundaries and
+//!   drain at most one expired overflow — all O(1).
+//! * **Full update** (with probability τ): a Window update plus an insertion
+//!   into `y` and, on overflow, into `b`/`B`.
+//!
+//! A query combines the overflow count (in block-size units) with the
+//! in-frame remainder from `y`, adds two blocks of slack to keep the error
+//! one-sided (as the paper does for comparability with MST), and scales by
+//! τ⁻¹ to compensate for sampling.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use memento_sketches::{OverflowQueue, Sampler, SpaceSaving, TableSampler};
+
+use crate::config::MementoConfig;
+
+/// The Memento sliding-window heavy-hitters algorithm.
+///
+/// Generic over the flow key `K`; the paper uses 5-tuples or IP pairs, the
+/// workspace mostly uses `u64` flow identifiers and prefix types.
+#[derive(Debug, Clone)]
+pub struct Memento<K: Eq + Hash + Clone> {
+    /// Window size `W` in packets.
+    window: usize,
+    /// Number of Space-Saving counters (the paper's `k`).
+    counters: usize,
+    /// Block size `W / k` in *window positions* (at least 1): how often the
+    /// per-block overflow queues rotate.
+    block_size: usize,
+    /// Overflow threshold in *sampled* (Full-update) units: the expected
+    /// number of Full updates per block, `τ·W/k` (at least 1). The in-frame
+    /// Space-Saving counter of a flow crossing a multiple of this value
+    /// records an overflow. Keeping the threshold in sampled units keeps the
+    /// block-quantization error at `O(W/k)` packets after the τ⁻¹ scaling,
+    /// matching Theorem 5.2's `ε = ε_a + ε_s` (it does not degrade with τ).
+    overflow_threshold: u64,
+    /// Full-update probability τ.
+    tau: f64,
+    /// Expected rate of Full updates per packet (τ unless sampling happens
+    /// upstream or at a different effective rate, as in H-Memento and the
+    /// network-wide controllers).
+    full_update_rate: f64,
+    /// Scale applied to query results (`τ⁻¹` by default; H-Memento overrides
+    /// it with `V = H/τ` because it manages sampling itself).
+    scale: f64,
+    /// In-frame approximate counts.
+    y: SpaceSaving<K>,
+    /// Per-block overflow queues.
+    b: OverflowQueue<K>,
+    /// Overflow counts per flow within the window (the paper's `B`).
+    overflow_counts: HashMap<K, u32>,
+    /// Position inside the current frame (the paper's `M`).
+    m: usize,
+    /// τ-sampler (random-number table).
+    sampler: TableSampler,
+    /// Total packets processed (full + window updates).
+    processed: u64,
+    /// Number of Full updates performed (for diagnostics/tests).
+    full_updates: u64,
+}
+
+impl<K: Eq + Hash + Clone> Memento<K> {
+    /// Creates a Memento instance.
+    ///
+    /// * `counters` — number of Space-Saving counters (`k`);
+    /// * `window` — window size `W` in packets;
+    /// * `tau` — Full-update probability in `(0, 1]`;
+    /// * `seed` — RNG seed for the sampling table.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (zero counters/window, τ ∉ (0,1]).
+    pub fn new(counters: usize, window: usize, tau: f64, seed: u64) -> Self {
+        let config = MementoConfig {
+            window,
+            counters,
+            tau,
+            seed,
+        };
+        Self::from_config(&config)
+    }
+
+    /// Creates a Memento instance sized from an algorithm error `ε_a`
+    /// (`k = ⌈4/ε_a⌉` counters), as in Algorithm 1.
+    pub fn with_epsilon(epsilon: f64, window: usize, tau: f64, seed: u64) -> Self {
+        let config = MementoConfig::builder(window)
+            .epsilon(epsilon)
+            .tau(tau)
+            .seed(seed)
+            .build()
+            .expect("invalid Memento parameters");
+        Self::from_config(&config)
+    }
+
+    /// Creates a Memento instance from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration does not validate.
+    pub fn from_config(config: &MementoConfig) -> Self {
+        config.validate().expect("invalid Memento configuration");
+        let block_size = config.block_size();
+        let blocks = config.window.div_ceil(block_size);
+        Memento {
+            window: config.window,
+            counters: config.counters,
+            block_size,
+            overflow_threshold: Self::threshold_for(config.tau, config.window, config.counters),
+            tau: config.tau,
+            full_update_rate: config.tau,
+            scale: 1.0 / config.tau,
+            y: SpaceSaving::new(config.counters),
+            b: OverflowQueue::new(blocks),
+            overflow_counts: HashMap::new(),
+            m: 0,
+            sampler: TableSampler::with_seed(config.tau, config.seed),
+            processed: 0,
+            full_updates: 0,
+        }
+    }
+
+    /// Overflow threshold (in sampled units) for a given effective
+    /// Full-update rate: `max(1, round(rate·W/k))`.
+    fn threshold_for(rate: f64, window: usize, counters: usize) -> u64 {
+        ((rate * window as f64 / counters as f64).round() as u64).max(1)
+    }
+
+    /// Reconfigures the instance for *externally driven* sampling: callers
+    /// (H-Memento, the network-wide controllers) invoke
+    /// [`Self::full_update`] / [`Self::window_update`] directly, with Full
+    /// updates arriving at `full_update_rate` per packet, and queries are
+    /// multiplied by `scale` (e.g. `V = H/τ`).
+    ///
+    /// # Panics
+    /// Panics if called after packets were processed, if the rate is not in
+    /// `(0, 1]`, or if the scale is below 1.
+    pub fn configure_external_sampling(&mut self, full_update_rate: f64, scale: f64) {
+        assert_eq!(
+            self.processed, 0,
+            "external sampling must be configured before any update"
+        );
+        assert!(
+            full_update_rate > 0.0 && full_update_rate <= 1.0,
+            "full update rate must be in (0,1], got {full_update_rate}"
+        );
+        assert!(scale >= 1.0, "query scale must be at least 1, got {scale}");
+        self.full_update_rate = full_update_rate;
+        self.scale = scale;
+        self.overflow_threshold =
+            Self::threshold_for(full_update_rate, self.window, self.counters);
+    }
+
+    // ---- accessors ----------------------------------------------------------
+
+    /// Window size `W`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of Space-Saving counters.
+    pub fn counters(&self) -> usize {
+        self.counters
+    }
+
+    /// Block size `W / k` in window positions.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Overflow threshold in sampled units (`≈ τ·W/k`).
+    pub fn overflow_threshold(&self) -> u64 {
+        self.overflow_threshold
+    }
+
+    /// Effective Full-update rate per packet.
+    pub fn full_update_rate(&self) -> f64 {
+        self.full_update_rate
+    }
+
+    /// Full-update probability τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Current query scale (τ⁻¹ unless overridden).
+    pub fn query_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Overrides the query scale. H-Memento drives its own prefix sampling
+    /// and therefore sets the scale to `V = H/τ` while keeping the internal
+    /// τ at 1.
+    pub fn set_query_scale(&mut self, scale: f64) {
+        assert!(scale >= 1.0, "query scale must be at least 1, got {scale}");
+        self.scale = scale;
+    }
+
+    /// Total number of packets processed (Full + Window updates).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of Full updates performed so far.
+    pub fn full_updates(&self) -> u64 {
+        self.full_updates
+    }
+
+    /// Number of flows currently holding an overflow entry.
+    pub fn tracked_overflows(&self) -> usize {
+        self.overflow_counts.len()
+    }
+
+    // ---- the three update operations ----------------------------------------
+
+    /// The per-packet update: a Full update with probability τ, otherwise a
+    /// Window update (Algorithm 1, `UPDATE`).
+    #[inline]
+    pub fn update(&mut self, key: K) {
+        if self.sampler.sample() {
+            self.full_update(key);
+        } else {
+            self.window_update();
+        }
+    }
+
+    /// The lightweight *Window update* (Algorithm 1, `WINDOWUPDATE`):
+    /// advances the window without recording the packet.
+    #[inline]
+    pub fn window_update(&mut self) {
+        self.processed += 1;
+        self.m += 1;
+        if self.m == self.window {
+            self.m = 0;
+        }
+        if self.m == 0 {
+            // New frame: the in-frame counts restart.
+            self.y.flush();
+        }
+        if self.m % self.block_size == 0 {
+            // New block: the oldest block no longer overlaps the window.
+            // Thanks to the per-packet draining below the dropped queue is
+            // normally empty; retire any stragglers to keep B exact.
+            let dropped = self.b.rotate();
+            for key in dropped {
+                self.retire_overflow(&key);
+            }
+        }
+        // De-amortized retirement of expired overflows: at most one per packet.
+        if let Some(old) = self.b.pop_oldest() {
+            self.retire_overflow(&old);
+        }
+    }
+
+    /// The expensive *Full update* (Algorithm 1, `FULLUPDATE`): a Window
+    /// update plus the actual insertion of the packet into the summary.
+    #[inline]
+    pub fn full_update(&mut self, key: K) {
+        self.window_update();
+        self.full_updates += 1;
+        let count = self.y.add(key.clone());
+        if count % self.overflow_threshold == 0 {
+            // The flow's sampled count crossed a block's worth of Full
+            // updates: record an overflow.
+            self.b.push_current(key.clone());
+            *self.overflow_counts.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn retire_overflow(&mut self, key: &K) {
+        if let Some(c) = self.overflow_counts.get_mut(key) {
+            *c -= 1;
+            if *c == 0 {
+                self.overflow_counts.remove(key);
+            }
+        }
+    }
+
+    // ---- queries -------------------------------------------------------------
+
+    /// Raw (unscaled) upper-bound estimate in *sampled* packets, following
+    /// Algorithm 1's `QUERY` before the τ⁻¹ factor.
+    fn raw_estimate(&self, key: &K) -> u64 {
+        let block = self.overflow_threshold;
+        match self.overflow_counts.get(key) {
+            Some(&overflows) => {
+                block * (overflows as u64 + 2) + (self.y.query(key) % block)
+            }
+            None => 2 * block + self.y.query(key),
+        }
+    }
+
+    /// Estimated window frequency of `key` (Algorithm 1, `QUERY`): an upper
+    /// bound with one-sided error, scaled by τ⁻¹.
+    pub fn estimate(&self, key: &K) -> f64 {
+        self.raw_estimate(key) as f64 * self.scale
+    }
+
+    /// Point estimate of the window frequency *without* the +2-block
+    /// one-sided correction: overflow count in block units plus the in-frame
+    /// remainder, scaled. Unlike [`Self::estimate`] it is not an upper bound,
+    /// but it is (approximately) unbiased, which is what threshold-based
+    /// applications such as the flood-mitigation controller of §6.3 want —
+    /// otherwise a coarser (more biased) estimator would cross thresholds
+    /// earlier than a finer one.
+    pub fn point_estimate(&self, key: &K) -> f64 {
+        let block = self.overflow_threshold;
+        let raw = match self.overflow_counts.get(key) {
+            Some(&overflows) => block * overflows as u64 + (self.y.query(key) % block),
+            None => self.y.query(key),
+        };
+        raw as f64 * self.scale
+    }
+
+    /// Upper bound on the window frequency (alias of [`Self::estimate`]).
+    pub fn upper_bound(&self, key: &K) -> f64 {
+        self.estimate(key)
+    }
+
+    /// Lower bound on the window frequency, derived from the overflow count
+    /// alone (each overflow beyond the ±2-block uncertainty witnesses one
+    /// block worth of sampled traffic).
+    pub fn lower_bound(&self, key: &K) -> f64 {
+        let blocks = self
+            .overflow_counts
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(2) as u64;
+        (self.overflow_threshold * blocks) as f64 * self.scale
+    }
+
+    /// Keys that currently have either an overflow entry or an in-frame
+    /// counter. Every window heavy hitter is guaranteed to be in this set
+    /// (it must overflow at least once per window).
+    pub fn tracked_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self.overflow_counts.keys().cloned().collect();
+        let known: std::collections::HashSet<K> = keys.iter().cloned().collect();
+        for snap in self.y.snapshot() {
+            if !known.contains(&snap.key) {
+                keys.push(snap.key);
+            }
+        }
+        keys
+    }
+
+    /// Flows whose estimated window frequency reaches `threshold` packets,
+    /// sorted by decreasing estimate. Since every true heavy hitter overflows
+    /// within the window, this set has no false negatives (up to the
+    /// algorithm's ε·W error).
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        let mut out: Vec<(K, f64)> = self
+            .tracked_keys()
+            .into_iter()
+            .map(|k| {
+                let est = self.estimate(&k);
+                (k, est)
+            })
+            .filter(|(_, est)| *est >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_sketches::ExactWindow;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// With τ = 1 (WCSS mode) the estimate must stay within ε·W = 4W/k of the
+    /// exact window frequency (and never undershoot, the error is one-sided).
+    #[test]
+    fn tau_one_error_is_bounded_and_one_sided() {
+        let window = 4_000;
+        let counters = 100; // eps_a = 4/k = 4% -> error <= 160 packets
+        let mut memento = Memento::new(counters, window, 1.0, 1);
+        let mut exact = ExactWindow::new(window);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20_000u64 {
+            // Skewed stream over 200 flows.
+            let r: f64 = rng.gen();
+            let flow = (r * r * 200.0) as u64;
+            memento.update(flow);
+            exact.add(flow);
+        }
+        let eps_bound = (4 * window / counters) as f64;
+        for flow in 0..200u64 {
+            let est = memento.estimate(&flow);
+            let real = exact.query(&flow) as f64;
+            assert!(
+                est + 1e-9 >= real,
+                "estimate must not undershoot: flow {flow} est {est} real {real}"
+            );
+            assert!(
+                est - real <= eps_bound,
+                "error too large: flow {flow} est {est} real {real} bound {eps_bound}"
+            );
+        }
+    }
+
+    /// Old heavy hitters must be forgotten once they leave the window.
+    #[test]
+    fn window_forgets_old_heavy_hitters() {
+        let window = 1_000;
+        let mut memento = Memento::new(50, window, 1.0, 3);
+        // Flow 1 dominates the first 2 windows.
+        for _ in 0..2 * window {
+            memento.update(1u64);
+        }
+        assert!(memento.estimate(&1) > 0.5 * window as f64);
+        // Then disappears for 2 full windows.
+        for i in 0..2 * window {
+            memento.update(1_000 + (i as u64 % 500));
+        }
+        let est = memento.estimate(&1);
+        // Only the one-sided slack (2 blocks + in-frame SS noise) may remain.
+        let slack = 3.0 * memento.block_size() as f64 + (window / 50) as f64;
+        assert!(
+            est <= slack,
+            "stale flow not forgotten: est {est}, slack {slack}"
+        );
+    }
+
+    /// The sampled estimate (scaled by τ⁻¹) should track the exact frequency
+    /// of large flows reasonably well.
+    #[test]
+    fn sampling_preserves_large_flow_estimates() {
+        let window = 20_000;
+        let tau = 1.0 / 16.0;
+        let mut memento = Memento::new(512, window, tau, 11);
+        let mut exact = ExactWindow::new(window);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..3 * window {
+            // Flow 0 carries ~25% of traffic, the rest spread over 1000 flows.
+            let flow = if rng.gen::<f64>() < 0.25 {
+                0u64
+            } else {
+                1 + rng.gen_range(0..1000)
+            };
+            memento.update(flow);
+            exact.add(flow);
+        }
+        let est = memento.estimate(&0);
+        let real = exact.query(&0) as f64;
+        // The estimate is an upper bound (one-sided +2-block slack scaled by
+        // τ⁻¹) plus sampling noise; it must stay in the right ballpark.
+        let rel = (est - real).abs() / real;
+        assert!(
+            rel < 0.5,
+            "relative error too large under sampling: est {est} real {real} rel {rel}"
+        );
+        assert!(est > 0.5 * real, "estimate collapsed: est {est} real {real}");
+        // The number of full updates should be ~tau * processed.
+        let ratio = memento.full_updates() as f64 / memento.processed() as f64;
+        assert!((ratio - tau).abs() < tau * 0.2, "full update ratio {ratio}");
+    }
+
+    #[test]
+    fn heavy_hitters_contains_dominant_flow() {
+        let window = 5_000;
+        let mut memento = Memento::new(64, window, 0.25, 9);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..2 * window {
+            let flow = if rng.gen::<f64>() < 0.3 {
+                42u64
+            } else {
+                rng.gen_range(100..10_000)
+            };
+            memento.update(flow);
+        }
+        let hh = memento.heavy_hitters(0.2 * window as f64);
+        assert!(
+            hh.iter().any(|(k, _)| *k == 42),
+            "dominant flow missing from {hh:?}"
+        );
+        // Results must be sorted by decreasing estimate.
+        for w in hh.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_upper_bound() {
+        let mut memento = Memento::new(32, 2_000, 0.5, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let flow = rng.gen_range(0u64..50);
+            memento.update(flow);
+        }
+        for flow in 0..50u64 {
+            assert!(memento.lower_bound(&flow) <= memento.upper_bound(&flow) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_estimate_is_below_upper_bound_and_near_truth() {
+        let window = 5_000;
+        let mut memento = Memento::new(100, window, 1.0, 4);
+        let mut exact = ExactWindow::new(window);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..3 * window {
+            let flow = if rng.gen::<f64>() < 0.3 { 1u64 } else { rng.gen_range(2..500) };
+            memento.update(flow);
+            exact.add(flow);
+        }
+        let real = exact.query(&1) as f64;
+        let point = memento.point_estimate(&1);
+        let upper = memento.upper_bound(&1);
+        assert!(point <= upper);
+        assert!(
+            (point - real).abs() <= 2.0 * memento.overflow_threshold() as f64 + (window / 100) as f64,
+            "point estimate {point} too far from exact {real}"
+        );
+    }
+
+    #[test]
+    fn estimates_scale_with_query_scale() {
+        let mut memento = Memento::new(16, 100, 1.0, 0);
+        for _ in 0..50 {
+            memento.update(7u64);
+        }
+        let base = memento.estimate(&7);
+        memento.set_query_scale(5.0);
+        assert!((memento.estimate(&7) - 5.0 * base).abs() < 1e-9);
+        assert_eq!(memento.query_scale(), 5.0);
+    }
+
+    #[test]
+    fn from_config_respects_parameters() {
+        let config = MementoConfig::builder(1_000)
+            .epsilon(0.04)
+            .tau(0.5)
+            .seed(1)
+            .build()
+            .unwrap();
+        let memento: Memento<u64> = Memento::from_config(&config);
+        assert_eq!(memento.counters(), 100);
+        assert_eq!(memento.block_size(), 10);
+        assert_eq!(memento.window(), 1_000);
+        assert!((memento.tau() - 0.5).abs() < 1e-12);
+        assert!((memento.query_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Memento configuration")]
+    fn invalid_parameters_panic() {
+        let _ = Memento::<u64>::new(0, 100, 1.0, 0);
+    }
+
+    #[test]
+    fn tracked_keys_cover_overflowed_and_in_frame_flows() {
+        let mut memento = Memento::new(8, 80, 1.0, 2);
+        for _ in 0..40 {
+            memento.update("overflowing");
+        }
+        memento.update("fresh");
+        let keys = memento.tracked_keys();
+        assert!(keys.contains(&"overflowing"));
+        assert!(keys.contains(&"fresh"));
+    }
+
+    #[test]
+    fn window_update_advances_without_recording() {
+        let mut memento = Memento::<u64>::new(8, 100, 1.0, 2);
+        for _ in 0..10 {
+            memento.window_update();
+        }
+        assert_eq!(memento.processed(), 10);
+        assert_eq!(memento.full_updates(), 0);
+        assert_eq!(memento.tracked_overflows(), 0);
+    }
+}

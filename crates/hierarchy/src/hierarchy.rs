@@ -1,0 +1,260 @@
+//! The [`Hierarchy`] abstraction and the two concrete hierarchies used in the
+//! paper's evaluation.
+//!
+//! Every HHH algorithm in this workspace (H-Memento, MST, window-MST, RHHH,
+//! the exact oracle) is generic over a [`Hierarchy`], so the one-dimensional
+//! source hierarchy (`H = 5`) and the two-dimensional source × destination
+//! hierarchy (`H = 25`) share a single implementation of the update and
+//! output logic.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::prefix::{Prefix1D, Prefix2D};
+
+/// A prefix hierarchy over packet keys.
+///
+/// `Item` is the fully specified packet key (a source address, or a
+/// source/destination pair); `Prefix` is the type of (possibly partially
+/// specified) prefixes. The hierarchy knows how to enumerate the `H`
+/// generalizations of an item, compare prefixes under the generalization
+/// order, and compute greatest lower bounds (for 2D inclusion–exclusion).
+pub trait Hierarchy: Clone + Debug {
+    /// Fully specified packet key.
+    type Item: Copy + Eq + Hash + Debug;
+    /// Prefix type (includes fully specified prefixes).
+    type Prefix: Copy + Eq + Hash + Ord + Debug;
+
+    /// The hierarchy size `H`: number of distinct prefixes generalizing one
+    /// item (including the item itself and the root).
+    fn h(&self) -> usize;
+
+    /// The maximal depth `L`. Fully specified prefixes have depth 0.
+    fn max_depth(&self) -> usize;
+
+    /// Number of dimensions (1 or 2); selects the `calcPred` variant.
+    fn dimensions(&self) -> usize;
+
+    /// The `index`-th generalization of `item`, for `index` in `0..h()`.
+    /// Index 0 must be the fully specified prefix.
+    fn prefix_at(&self, item: Self::Item, index: usize) -> Self::Prefix;
+
+    /// Depth of a prefix (0 for fully specified, `max_depth()` for the root).
+    fn depth(&self, p: &Self::Prefix) -> usize;
+
+    /// Generalization order: true when `p ⪯ q` (`p` generalizes `q`).
+    fn generalizes(&self, p: &Self::Prefix, q: &Self::Prefix) -> bool;
+
+    /// Greatest lower bound of two prefixes, if they have common descendants.
+    fn glb(&self, a: &Self::Prefix, b: &Self::Prefix) -> Option<Self::Prefix>;
+
+    /// True when the prefix generalizes the fully specified item.
+    fn prefix_matches(&self, p: &Self::Prefix, item: Self::Item) -> bool;
+
+    /// The *pattern index* of a prefix: which of the `H` generalization
+    /// patterns it belongs to, in `0..h()`. This is the inverse of
+    /// [`Hierarchy::prefix_at`] with respect to the pattern: for every item
+    /// and index `i`, `pattern_index(&prefix_at(item, i)) == i`. MST and
+    /// RHHH use it to route a prefix to its per-pattern summary instance.
+    fn pattern_index(&self, p: &Self::Prefix) -> usize;
+
+    /// All `H` generalizations of an item, fully specified first.
+    fn prefixes_of(&self, item: Self::Item) -> Vec<Self::Prefix> {
+        (0..self.h()).map(|i| self.prefix_at(item, i)).collect()
+    }
+
+    /// Strict generalization: `p ≺ q`.
+    fn strictly_generalizes(&self, p: &Self::Prefix, q: &Self::Prefix) -> bool {
+        p != q && self.generalizes(p, q)
+    }
+}
+
+/// One-dimensional byte-granularity source-address hierarchy (`H = 5`,
+/// `L = 4`), as used for the "1D" experiments of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrcHierarchy;
+
+impl Hierarchy for SrcHierarchy {
+    type Item = u32;
+    type Prefix = Prefix1D;
+
+    fn h(&self) -> usize {
+        5
+    }
+
+    fn max_depth(&self) -> usize {
+        4
+    }
+
+    fn dimensions(&self) -> usize {
+        1
+    }
+
+    fn prefix_at(&self, item: u32, index: usize) -> Prefix1D {
+        debug_assert!(index < 5);
+        Prefix1D::new(item, 32 - 8 * index as u8)
+    }
+
+    fn depth(&self, p: &Prefix1D) -> usize {
+        p.depth()
+    }
+
+    fn generalizes(&self, p: &Prefix1D, q: &Prefix1D) -> bool {
+        p.generalizes(q)
+    }
+
+    fn glb(&self, a: &Prefix1D, b: &Prefix1D) -> Option<Prefix1D> {
+        a.glb(b)
+    }
+
+    fn prefix_matches(&self, p: &Prefix1D, item: u32) -> bool {
+        p.contains_addr(item)
+    }
+
+    fn pattern_index(&self, p: &Prefix1D) -> usize {
+        p.depth()
+    }
+}
+
+/// Two-dimensional byte-granularity source × destination hierarchy
+/// (`H = 25`, `L = 8`), as used for the "2D" experiments of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrcDstHierarchy;
+
+impl Hierarchy for SrcDstHierarchy {
+    type Item = (u32, u32);
+    type Prefix = Prefix2D;
+
+    fn h(&self) -> usize {
+        25
+    }
+
+    fn max_depth(&self) -> usize {
+        8
+    }
+
+    fn dimensions(&self) -> usize {
+        2
+    }
+
+    fn prefix_at(&self, item: (u32, u32), index: usize) -> Prefix2D {
+        debug_assert!(index < 25);
+        let (src, dst) = item;
+        let si = (index / 5) as u8;
+        let di = (index % 5) as u8;
+        Prefix2D::new(
+            Prefix1D::new(src, 32 - 8 * si),
+            Prefix1D::new(dst, 32 - 8 * di),
+        )
+    }
+
+    fn depth(&self, p: &Prefix2D) -> usize {
+        p.depth()
+    }
+
+    fn generalizes(&self, p: &Prefix2D, q: &Prefix2D) -> bool {
+        p.generalizes(q)
+    }
+
+    fn glb(&self, a: &Prefix2D, b: &Prefix2D) -> Option<Prefix2D> {
+        a.glb(b)
+    }
+
+    fn prefix_matches(&self, p: &Prefix2D, item: (u32, u32)) -> bool {
+        p.contains(item.0, item.1)
+    }
+
+    fn pattern_index(&self, p: &Prefix2D) -> usize {
+        p.src.depth() * 5 + p.dst.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::p1d;
+
+    #[test]
+    fn src_hierarchy_enumerates_five_prefixes() {
+        let h = SrcHierarchy;
+        let item = u32::from_be_bytes([181, 7, 20, 6]);
+        let prefixes = h.prefixes_of(item);
+        assert_eq!(prefixes.len(), 5);
+        assert_eq!(prefixes[0], p1d(181, 7, 20, 6, 32));
+        assert_eq!(prefixes[4], Prefix1D::root());
+        // All prefixes generalize the item and depths are 0..=4.
+        for (i, p) in prefixes.iter().enumerate() {
+            assert!(h.prefix_matches(p, item));
+            assert_eq!(h.depth(p), i);
+            assert_eq!(h.pattern_index(p), i, "pattern_index inverts prefix_at");
+        }
+        assert_eq!(h.h(), 5);
+        assert_eq!(h.max_depth(), 4);
+        assert_eq!(h.dimensions(), 1);
+    }
+
+    #[test]
+    fn srcdst_hierarchy_enumerates_25_prefixes() {
+        let h = SrcDstHierarchy;
+        let item = (
+            u32::from_be_bytes([181, 7, 20, 6]),
+            u32::from_be_bytes([208, 67, 222, 222]),
+        );
+        let prefixes = h.prefixes_of(item);
+        assert_eq!(prefixes.len(), 25);
+        // All distinct, all generalize the item.
+        let set: std::collections::HashSet<_> = prefixes.iter().collect();
+        assert_eq!(set.len(), 25);
+        for (i, p) in prefixes.iter().enumerate() {
+            assert!(h.prefix_matches(p, item));
+            assert_eq!(h.pattern_index(p), i, "pattern_index inverts prefix_at");
+        }
+        // Depth histogram of a 5x5 grid: depth d has min(d,8-d)+1 entries.
+        let mut by_depth = vec![0usize; 9];
+        for p in &prefixes {
+            by_depth[h.depth(p)] += 1;
+        }
+        assert_eq!(by_depth, vec![1, 2, 3, 4, 5, 4, 3, 2, 1]);
+        assert_eq!(h.h(), 25);
+        assert_eq!(h.max_depth(), 8);
+        assert_eq!(h.dimensions(), 2);
+    }
+
+    #[test]
+    fn generalization_is_a_partial_order_2d() {
+        let h = SrcDstHierarchy;
+        let item = (0x01020304u32, 0x0a0b0c0du32);
+        let ps = h.prefixes_of(item);
+        for a in &ps {
+            assert!(h.generalizes(a, a), "reflexive");
+            for b in &ps {
+                for c in &ps {
+                    if h.generalizes(a, b) && h.generalizes(b, c) {
+                        assert!(h.generalizes(a, c), "transitive");
+                    }
+                }
+                if h.generalizes(a, b) && h.generalizes(b, a) {
+                    assert_eq!(a, b, "antisymmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glb_is_commutative_and_generalized_by_both() {
+        let h = SrcDstHierarchy;
+        let item = (0xC0A80101u32, 0x08080808u32);
+        let ps = h.prefixes_of(item);
+        for a in &ps {
+            for b in &ps {
+                let g1 = h.glb(a, b);
+                let g2 = h.glb(b, a);
+                assert_eq!(g1, g2);
+                if let Some(g) = g1 {
+                    assert!(h.generalizes(a, &g));
+                    assert!(h.generalizes(b, &g));
+                }
+            }
+        }
+    }
+}

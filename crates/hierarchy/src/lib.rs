@@ -1,0 +1,40 @@
+//! # memento-hierarchy
+//!
+//! IP-prefix hierarchies and the hierarchical-heavy-hitter (HHH) set
+//! machinery shared by H-Memento, the MST / window-MST baselines, RHHH and
+//! the exact oracles in the [Memento (CoNEXT 2018)][paper] reproduction.
+//!
+//! The paper works with byte-granularity IPv4 hierarchies:
+//!
+//! * the **source hierarchy** — prefixes `/32, /24, /16, /8, /0` of the
+//!   source address, hierarchy size `H = 5`, maximal depth `L = 4`;
+//! * the **source × destination hierarchy** — all 25 combinations of source
+//!   and destination byte prefixes, `H = 25`, maximal depth `L = 8`.
+//!
+//! The crate provides:
+//!
+//! * [`Prefix1D`] / [`Prefix2D`] — prefix types with the generalization
+//!   partial order (`⪯`), parents and greatest lower bounds;
+//! * the [`Hierarchy`] trait with [`SrcHierarchy`] and [`SrcDstHierarchy`]
+//!   implementations, so every HHH algorithm in the workspace is generic over
+//!   the dimensionality;
+//! * [`hhh_set`] — `G(q|P)`, conditioned frequencies, `calcPred` for one and
+//!   two dimensions (Algorithms 3 and 4 of the paper) and the level-by-level
+//!   HHH set computation (the `output` procedure of Algorithm 2), plus exact
+//!   oracles used as ground truth.
+//!
+//! [paper]: https://arxiv.org/abs/1810.02899
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hhh_set;
+pub mod hierarchy;
+pub mod prefix;
+
+pub use hhh_set::{
+    compute_hhh, conditioned_frequency_exact, exact_hhh, prefix_frequencies, ExactPrefixOracle,
+    HhhParams, PrefixEstimator,
+};
+pub use hierarchy::{Hierarchy, SrcDstHierarchy, SrcHierarchy};
+pub use prefix::{Prefix1D, Prefix2D};

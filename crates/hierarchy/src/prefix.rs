@@ -1,0 +1,427 @@
+//! IPv4 prefixes at byte granularity and their generalization order.
+//!
+//! Following the paper (and the MST / RHHH line of work it builds on),
+//! prefixes are byte-granular: the allowed lengths are 0, 8, 16, 24 and 32
+//! bits. `181.7.20.6` (a *fully specified* prefix) is generalized by
+//! `181.7.20.0/24`, `181.7.0.0/16`, `181.0.0.0/8` and `0.0.0.0/0`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Byte-granularity prefix lengths allowed by the hierarchies in this crate.
+pub const BYTE_PREFIX_LENGTHS: [u8; 5] = [32, 24, 16, 8, 0];
+
+/// A one-dimensional (source *or* destination) IPv4 prefix with a
+/// byte-granularity length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix1D {
+    /// Network address with all bits beyond `len` cleared.
+    addr: u32,
+    /// Prefix length in bits; always one of 0, 8, 16, 24, 32.
+    len: u8,
+}
+
+impl Prefix1D {
+    /// Creates a prefix, masking `addr` down to `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `len` is not one of 0, 8, 16, 24, 32.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(
+            BYTE_PREFIX_LENGTHS.contains(&len),
+            "prefix length must be byte-granular (0/8/16/24/32), got {len}"
+        );
+        Prefix1D {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The fully specified prefix (length 32) for an address.
+    pub fn host(addr: u32) -> Self {
+        Prefix1D { addr, len: 32 }
+    }
+
+    /// The root prefix `0.0.0.0/0`.
+    pub fn root() -> Self {
+        Prefix1D { addr: 0, len: 0 }
+    }
+
+    /// Network mask for a byte-granular length.
+    #[inline]
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Masked network address.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True when the prefix covers the whole address space.
+    pub fn is_root(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the prefix is fully specified (a host address).
+    pub fn is_host(&self) -> bool {
+        self.len == 32
+    }
+
+    /// Depth in the hierarchy: fully specified items have depth 0, each byte
+    /// of generalization adds one (so `/0` has depth 4).
+    pub fn depth(&self) -> usize {
+        ((32 - self.len) / 8) as usize
+    }
+
+    /// Generalizes this prefix to a (shorter or equal) byte-granular length.
+    ///
+    /// # Panics
+    /// Panics if `len` is longer than the current length or not byte-granular.
+    pub fn generalize_to(&self, len: u8) -> Self {
+        assert!(len <= self.len, "cannot specialize {self} to /{len}");
+        Prefix1D::new(self.addr, len)
+    }
+
+    /// The parent prefix (one byte shorter), or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix1D::new(self.addr, self.len - 8))
+        }
+    }
+
+    /// True when `self` generalizes `other` (`self ⪯ other`): every address
+    /// matched by `other` is also matched by `self`. Reflexive.
+    pub fn generalizes(&self, other: &Prefix1D) -> bool {
+        self.len <= other.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// True when `self` strictly generalizes `other` (`self ≺ other`).
+    pub fn strictly_generalizes(&self, other: &Prefix1D) -> bool {
+        self.len < other.len && self.generalizes(other)
+    }
+
+    /// True when the prefix contains the given host address.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        (addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Greatest lower bound with `other`: the unique maximal common
+    /// descendant, when one exists. For 1D prefixes this is simply the more
+    /// specific of two comparable prefixes.
+    pub fn glb(&self, other: &Prefix1D) -> Option<Prefix1D> {
+        if self.generalizes(other) {
+            Some(*other)
+        } else if other.generalizes(self) {
+            Some(*self)
+        } else {
+            None
+        }
+    }
+
+    /// All generalizations of a host address, from fully specified (`/32`) to
+    /// the root, i.e. depth 0 to 4.
+    pub fn generalizations_of(addr: u32) -> [Prefix1D; 5] {
+        [
+            Prefix1D::new(addr, 32),
+            Prefix1D::new(addr, 24),
+            Prefix1D::new(addr, 16),
+            Prefix1D::new(addr, 8),
+            Prefix1D::new(addr, 0),
+        ]
+    }
+}
+
+impl fmt::Display for Prefix1D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            (a >> 24) & 0xff,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.len
+        )
+    }
+}
+
+/// Error returned when parsing a [`Prefix1D`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix1D {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = match s.split_once('/') {
+            Some((a, l)) => (a, Some(l)),
+            None => (s, None),
+        };
+        let octets: Vec<&str> = addr_part.split('.').collect();
+        if octets.len() != 4 {
+            return Err(ParsePrefixError(s.to_string()));
+        }
+        let mut addr = 0u32;
+        for o in octets {
+            let v: u32 = o.parse().map_err(|_| ParsePrefixError(s.to_string()))?;
+            if v > 255 {
+                return Err(ParsePrefixError(s.to_string()));
+            }
+            addr = (addr << 8) | v;
+        }
+        let len: u8 = match len_part {
+            Some(l) => l.parse().map_err(|_| ParsePrefixError(s.to_string()))?,
+            None => 32,
+        };
+        if !BYTE_PREFIX_LENGTHS.contains(&len) {
+            return Err(ParsePrefixError(s.to_string()));
+        }
+        Ok(Prefix1D::new(addr, len))
+    }
+}
+
+/// A two-dimensional (source, destination) prefix pair.
+///
+/// A 2D prefix generalizes another when it does so in *both* dimensions, so
+/// the partial order forms a lattice and a pair of prefixes can have a unique
+/// greatest lower bound (needed by the inclusion–exclusion rule of
+/// Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix2D {
+    /// Source prefix.
+    pub src: Prefix1D,
+    /// Destination prefix.
+    pub dst: Prefix1D,
+}
+
+impl Prefix2D {
+    /// Creates a 2D prefix from its components.
+    pub fn new(src: Prefix1D, dst: Prefix1D) -> Self {
+        Prefix2D { src, dst }
+    }
+
+    /// Fully specified 2D prefix for a (source, destination) address pair.
+    pub fn host(src: u32, dst: u32) -> Self {
+        Prefix2D {
+            src: Prefix1D::host(src),
+            dst: Prefix1D::host(dst),
+        }
+    }
+
+    /// Depth: sum of the per-dimension depths (0 for fully specified,
+    /// 8 for `(*, *)`).
+    pub fn depth(&self) -> usize {
+        self.src.depth() + self.dst.depth()
+    }
+
+    /// True when `self` generalizes `other` in both dimensions (reflexive).
+    pub fn generalizes(&self, other: &Prefix2D) -> bool {
+        self.src.generalizes(&other.src) && self.dst.generalizes(&other.dst)
+    }
+
+    /// True when `self` generalizes `other` and they differ.
+    pub fn strictly_generalizes(&self, other: &Prefix2D) -> bool {
+        self != other && self.generalizes(other)
+    }
+
+    /// Parents: generalize either the source or the destination by one byte.
+    /// Fully general prefixes have no parents; others have one or two.
+    pub fn parents(&self) -> Vec<Prefix2D> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(sp) = self.src.parent() {
+            out.push(Prefix2D::new(sp, self.dst));
+        }
+        if let Some(dp) = self.dst.parent() {
+            out.push(Prefix2D::new(self.src, dp));
+        }
+        out
+    }
+
+    /// Greatest lower bound (`glb`): the unique maximal common descendant of
+    /// the two prefixes, when one exists. Exists iff the two prefixes are
+    /// compatible per dimension; the glb takes the more specific component in
+    /// each dimension.
+    pub fn glb(&self, other: &Prefix2D) -> Option<Prefix2D> {
+        let src = self.src.glb(&other.src)?;
+        let dst = self.dst.glb(&other.dst)?;
+        Some(Prefix2D::new(src, dst))
+    }
+
+    /// True when the 2D prefix matches a (source, destination) address pair.
+    pub fn contains(&self, src: u32, dst: u32) -> bool {
+        self.src.contains_addr(src) && self.dst.contains_addr(dst)
+    }
+}
+
+impl fmt::Display for Prefix2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src, self.dst)
+    }
+}
+
+/// Convenience constructor for tests and examples: `p1d(a, b, c, d, len)`.
+pub fn p1d(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix1D {
+    Prefix1D::new(u32::from_be_bytes([a, b, c, d]), len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_and_constructors() {
+        let p = p1d(181, 7, 20, 6, 16);
+        assert_eq!(p.to_string(), "181.7.0.0/16");
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.depth(), 2);
+        assert!(Prefix1D::root().is_root());
+        assert!(Prefix1D::host(1).is_host());
+        assert_eq!(Prefix1D::mask(0), 0);
+        assert_eq!(Prefix1D::mask(32), u32::MAX);
+        assert_eq!(Prefix1D::mask(8), 0xff00_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-granular")]
+    fn non_byte_length_panics() {
+        let _ = Prefix1D::new(0, 12);
+    }
+
+    #[test]
+    fn generalization_order_1d() {
+        let host = p1d(181, 7, 20, 6, 32);
+        let net24 = p1d(181, 7, 20, 0, 24);
+        let net16 = p1d(181, 7, 0, 0, 16);
+        let other = p1d(10, 0, 0, 0, 8);
+        assert!(net24.generalizes(&host));
+        assert!(net16.generalizes(&host));
+        assert!(net16.generalizes(&net24));
+        assert!(net16.generalizes(&net16), "reflexive");
+        assert!(!net16.strictly_generalizes(&net16));
+        assert!(net16.strictly_generalizes(&net24));
+        assert!(!other.generalizes(&host));
+        assert!(Prefix1D::root().generalizes(&other));
+    }
+
+    #[test]
+    fn parent_chain_reaches_root() {
+        let mut p = p1d(1, 2, 3, 4, 32);
+        let mut depths = vec![p.depth()];
+        while let Some(parent) = p.parent() {
+            assert!(parent.generalizes(&p));
+            p = parent;
+            depths.push(p.depth());
+        }
+        assert_eq!(depths, vec![0, 1, 2, 3, 4]);
+        assert!(p.is_root());
+    }
+
+    #[test]
+    fn generalizations_of_host() {
+        let g = Prefix1D::generalizations_of(u32::from_be_bytes([181, 7, 20, 6]));
+        assert_eq!(g[0].to_string(), "181.7.20.6/32");
+        assert_eq!(g[1].to_string(), "181.7.20.0/24");
+        assert_eq!(g[4].to_string(), "0.0.0.0/0");
+        for w in g.windows(2) {
+            assert!(w[1].generalizes(&w[0]));
+        }
+    }
+
+    #[test]
+    fn glb_1d() {
+        let a = p1d(181, 7, 0, 0, 16);
+        let b = p1d(181, 7, 20, 0, 24);
+        let c = p1d(10, 0, 0, 0, 8);
+        assert_eq!(a.glb(&b), Some(b));
+        assert_eq!(b.glb(&a), Some(b));
+        assert_eq!(a.glb(&c), None);
+        assert_eq!(a.glb(&a), Some(a));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["181.7.20.6/32", "181.7.0.0/16", "0.0.0.0/0", "10.0.0.0/8"] {
+            let p: Prefix1D = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        let host: Prefix1D = "1.2.3.4".parse().unwrap();
+        assert_eq!(host.len(), 32);
+        assert!("1.2.3".parse::<Prefix1D>().is_err());
+        assert!("1.2.3.4/12".parse::<Prefix1D>().is_err());
+        assert!("1.2.3.400/8".parse::<Prefix1D>().is_err());
+    }
+
+    #[test]
+    fn prefix2d_generalization_and_parents() {
+        let item = Prefix2D::host(
+            u32::from_be_bytes([181, 7, 20, 6]),
+            u32::from_be_bytes([208, 67, 222, 222]),
+        );
+        let p1 = Prefix2D::new(p1d(181, 7, 20, 0, 24), p1d(208, 67, 222, 222, 32));
+        let p2 = Prefix2D::new(p1d(181, 7, 20, 6, 32), p1d(208, 67, 222, 0, 24));
+        assert!(p1.generalizes(&item));
+        assert!(p2.generalizes(&item));
+        assert!(!p1.generalizes(&p2));
+        let parents = item.parents();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&p1));
+        assert!(parents.contains(&p2));
+        // Root has no parents.
+        let root = Prefix2D::new(Prefix1D::root(), Prefix1D::root());
+        assert!(root.parents().is_empty());
+        assert_eq!(root.depth(), 8);
+        assert_eq!(item.depth(), 0);
+    }
+
+    #[test]
+    fn prefix2d_glb() {
+        // The glb of (181.7.20.*, dst-host) and (181.7.20.6, 208.67.222.*)
+        // is the fully specified pair.
+        let a = Prefix2D::new(p1d(181, 7, 20, 0, 24), p1d(208, 67, 222, 222, 32));
+        let b = Prefix2D::new(p1d(181, 7, 20, 6, 32), p1d(208, 67, 222, 0, 24));
+        let glb = a.glb(&b).unwrap();
+        assert_eq!(
+            glb,
+            Prefix2D::new(p1d(181, 7, 20, 6, 32), p1d(208, 67, 222, 222, 32))
+        );
+        // Incompatible sources -> no glb.
+        let c = Prefix2D::new(p1d(10, 0, 0, 0, 8), p1d(208, 67, 222, 0, 24));
+        assert_eq!(a.glb(&c), None);
+    }
+
+    #[test]
+    fn contains_addresses() {
+        let p = Prefix2D::new(p1d(181, 0, 0, 0, 8), Prefix1D::root());
+        assert!(p.contains(
+            u32::from_be_bytes([181, 99, 1, 2]),
+            u32::from_be_bytes([8, 8, 8, 8])
+        ));
+        assert!(!p.contains(
+            u32::from_be_bytes([182, 99, 1, 2]),
+            u32::from_be_bytes([8, 8, 8, 8])
+        ));
+    }
+}

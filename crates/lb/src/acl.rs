@@ -1,0 +1,203 @@
+//! HAProxy-style access control lists keyed by source subnet.
+//!
+//! The paper extends HAProxy's ACLs so that mitigation can act on entire
+//! subnets rather than individual flows: a rule maps a source prefix to an
+//! action (Deny, Tarpit, or a rate limit). Lookup is longest-prefix-match, so
+//! a specific exemption can coexist with a broad block.
+
+use std::collections::HashMap;
+
+use memento_hierarchy::Prefix1D;
+
+/// Action applied to a matching source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AclAction {
+    /// Reject the request outright (HTTP 403 / connection reset).
+    Deny,
+    /// Keep the connection open and never answer (wastes attacker state).
+    Tarpit,
+    /// Allow at most `max_per_window` requests from the subnet per window of
+    /// `window` requests observed by the proxy.
+    RateLimit {
+        /// Maximum admitted requests per window.
+        max_per_window: u64,
+        /// Window length in requests.
+        window: u64,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct RateState {
+    admitted: u64,
+    window_start: u64,
+}
+
+/// A set of subnet ACL rules with longest-prefix-match lookup.
+#[derive(Debug, Clone, Default)]
+pub struct AclTable {
+    /// Rules indexed by prefix (byte-granular lengths only).
+    rules: HashMap<Prefix1D, AclAction>,
+    /// Rate-limit bookkeeping per rate-limited prefix.
+    rate_state: HashMap<Prefix1D, RateState>,
+    /// Requests evaluated so far (drives the rate-limit windows).
+    evaluated: u64,
+}
+
+impl AclTable {
+    /// Creates an empty table (everything allowed).
+    pub fn new() -> Self {
+        AclTable::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rule is installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Installs (or replaces) a rule.
+    pub fn insert(&mut self, prefix: Prefix1D, action: AclAction) {
+        self.rules.insert(prefix, action);
+    }
+
+    /// Removes a rule; returns whether one existed.
+    pub fn remove(&mut self, prefix: &Prefix1D) -> bool {
+        self.rate_state.remove(prefix);
+        self.rules.remove(prefix).is_some()
+    }
+
+    /// True when a rule exists for exactly this prefix.
+    pub fn contains(&self, prefix: &Prefix1D) -> bool {
+        self.rules.contains_key(prefix)
+    }
+
+    /// The installed rules (for inspection / synchronization).
+    pub fn rules(&self) -> impl Iterator<Item = (&Prefix1D, &AclAction)> {
+        self.rules.iter()
+    }
+
+    /// Longest-prefix-match lookup of the rule covering `src`, if any.
+    pub fn matching_rule(&self, src: u32) -> Option<(Prefix1D, AclAction)> {
+        // Byte-granular prefixes: probe /32, /24, /16, /8, /0 from most to
+        // least specific.
+        for len in [32u8, 24, 16, 8, 0] {
+            let p = Prefix1D::new(src, len);
+            if let Some(a) = self.rules.get(&p) {
+                return Some((p, *a));
+            }
+        }
+        None
+    }
+
+    /// Evaluates a request from `src`: returns the action to apply, or `None`
+    /// when the request is admitted. Rate-limit rules admit up to their
+    /// budget per window and report `Some(RateLimit…)` for the excess.
+    pub fn evaluate(&mut self, src: u32) -> Option<AclAction> {
+        self.evaluated += 1;
+        let (prefix, action) = self.matching_rule(src)?;
+        match action {
+            AclAction::Deny | AclAction::Tarpit => Some(action),
+            AclAction::RateLimit {
+                max_per_window,
+                window,
+            } => {
+                let evaluated = self.evaluated;
+                let state = self
+                    .rate_state
+                    .entry(prefix)
+                    .or_insert_with(|| RateState {
+                        admitted: 0,
+                        window_start: evaluated,
+                    });
+                if evaluated - state.window_start >= window {
+                    state.window_start = evaluated;
+                    state.admitted = 0;
+                }
+                if state.admitted < max_per_window {
+                    state.admitted += 1;
+                    None
+                } else {
+                    Some(action)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn deny_blocks_the_whole_subnet() {
+        let mut acl = AclTable::new();
+        acl.insert(Prefix1D::new(addr(10, 0, 0, 0), 8), AclAction::Deny);
+        assert_eq!(acl.evaluate(addr(10, 99, 1, 2)), Some(AclAction::Deny));
+        assert_eq!(acl.evaluate(addr(11, 99, 1, 2)), None);
+        assert_eq!(acl.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_match_wins() {
+        let mut acl = AclTable::new();
+        acl.insert(Prefix1D::new(addr(10, 0, 0, 0), 8), AclAction::Deny);
+        acl.insert(Prefix1D::new(addr(10, 1, 0, 0), 16), AclAction::Tarpit);
+        assert_eq!(acl.evaluate(addr(10, 1, 2, 3)), Some(AclAction::Tarpit));
+        assert_eq!(acl.evaluate(addr(10, 2, 2, 3)), Some(AclAction::Deny));
+        let (p, _) = acl.matching_rule(addr(10, 1, 9, 9)).unwrap();
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    fn rate_limit_admits_up_to_budget_per_window() {
+        let mut acl = AclTable::new();
+        acl.insert(
+            Prefix1D::new(addr(20, 0, 0, 0), 8),
+            AclAction::RateLimit {
+                max_per_window: 3,
+                window: 10,
+            },
+        );
+        let mut admitted = 0;
+        let mut limited = 0;
+        for _ in 0..10 {
+            match acl.evaluate(addr(20, 5, 5, 5)) {
+                None => admitted += 1,
+                Some(AclAction::RateLimit { .. }) => limited += 1,
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(admitted, 3);
+        assert_eq!(limited, 7);
+        // Next window: budget refills.
+        assert_eq!(acl.evaluate(addr(20, 5, 5, 5)), None);
+    }
+
+    #[test]
+    fn remove_restores_access() {
+        let mut acl = AclTable::new();
+        let p = Prefix1D::new(addr(30, 0, 0, 0), 8);
+        acl.insert(p, AclAction::Deny);
+        assert!(acl.contains(&p));
+        assert!(acl.remove(&p));
+        assert!(!acl.remove(&p));
+        assert_eq!(acl.evaluate(addr(30, 1, 1, 1)), None);
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn rules_iterator_exposes_all_rules() {
+        let mut acl = AclTable::new();
+        acl.insert(Prefix1D::new(addr(1, 0, 0, 0), 8), AclAction::Deny);
+        acl.insert(Prefix1D::new(addr(2, 0, 0, 0), 8), AclAction::Tarpit);
+        assert_eq!(acl.rules().count(), 2);
+    }
+}

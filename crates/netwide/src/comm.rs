@@ -1,0 +1,89 @@
+//! The three communication methods of §4.3 and their bandwidth scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::WireFormat;
+
+/// How a measurement point conveys information to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommMethod {
+    /// Periodically ship the point's entire summary (idealized in this
+    /// reproduction, as in the paper: exact per-key counts, no merge loss).
+    Aggregation,
+    /// Ship one sampled packet per report (batch size 1).
+    Sample,
+    /// Ship `b` sampled packets per report.
+    Batch(usize),
+}
+
+impl CommMethod {
+    /// The batch size `b` of the method (1 for Sample; meaningless for
+    /// Aggregation, which reports whole summaries).
+    pub fn batch_size(&self) -> usize {
+        match self {
+            CommMethod::Aggregation => 0,
+            CommMethod::Sample => 1,
+            CommMethod::Batch(b) => *b,
+        }
+    }
+
+    /// The sampling probability that exactly exhausts a per-packet budget of
+    /// `budget` bytes for this method: `τ = B·b / (O + E·b)` (§5.2), capped
+    /// at 1. Aggregation does not sample (returns 1).
+    pub fn tau_for_budget(&self, budget: f64, wire: &WireFormat) -> f64 {
+        match self {
+            CommMethod::Aggregation => 1.0,
+            _ => {
+                let b = self.batch_size() as f64;
+                (budget * b / wire.report_bytes(self.batch_size())).min(1.0)
+            }
+        }
+    }
+
+    /// Short name used in bench output.
+    pub fn name(&self) -> String {
+        match self {
+            CommMethod::Aggregation => "aggregation".to_string(),
+            CommMethod::Sample => "sample".to_string(),
+            CommMethod::Batch(b) => format!("batch-{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_matches_budget_formula() {
+        let wire = WireFormat::tcp_src();
+        // Sample with B=1: tau = 1/(64+4) = 1/68.
+        let tau = CommMethod::Sample.tau_for_budget(1.0, &wire);
+        assert!((tau - 1.0 / 68.0).abs() < 1e-12);
+        // Batch 100 with B=1: tau = 100/464.
+        let tau = CommMethod::Batch(100).tau_for_budget(1.0, &wire);
+        assert!((tau - 100.0 / 464.0).abs() < 1e-12);
+        // Huge budgets cap tau at 1.
+        assert_eq!(CommMethod::Batch(10).tau_for_budget(1e9, &wire), 1.0);
+        assert_eq!(CommMethod::Aggregation.tau_for_budget(1.0, &wire), 1.0);
+    }
+
+    #[test]
+    fn batch_utilizes_bandwidth_better_than_sample() {
+        // For the same budget, Batch's effective sampling rate is higher
+        // because the header is amortized over b samples.
+        let wire = WireFormat::tcp_src();
+        let t_sample = CommMethod::Sample.tau_for_budget(1.0, &wire);
+        let t_batch = CommMethod::Batch(100).tau_for_budget(1.0, &wire);
+        assert!(t_batch > 10.0 * t_sample);
+    }
+
+    #[test]
+    fn names_and_batch_sizes() {
+        assert_eq!(CommMethod::Sample.batch_size(), 1);
+        assert_eq!(CommMethod::Batch(44).batch_size(), 44);
+        assert_eq!(CommMethod::Batch(44).name(), "batch-44");
+        assert_eq!(CommMethod::Aggregation.name(), "aggregation");
+        assert_eq!(CommMethod::Sample.name(), "sample");
+    }
+}

@@ -1,0 +1,348 @@
+//! Controller-side algorithms.
+//!
+//! The controller forms the network-wide sliding-window view from the
+//! reports of the measurement points:
+//!
+//! * [`DMementoController`] — plain heavy hitters: a [`Memento`] instance fed
+//!   with Full updates for every reported sample and Window updates for the
+//!   un-sampled remainder (§4.3, "Sample and Batch").
+//! * [`DHMementoController`] — hierarchical heavy hitters: the same recipe
+//!   with an [`HMemento`] instance.
+//! * [`AggregationController`] — the idealized Aggregation baseline: the
+//!   latest exact snapshot of every point, merged without loss (the paper
+//!   grants this baseline unlimited controller state so that beating it is
+//!   conclusive).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use memento_core::{HMemento, Memento};
+use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+
+use crate::message::{Report, ReportPayload};
+
+/// Network-wide heavy-hitters controller (D-Memento).
+#[derive(Debug, Clone)]
+pub struct DMementoController<K: Eq + Hash + Clone> {
+    memento: Memento<K>,
+}
+
+impl<K: Eq + Hash + Clone> DMementoController<K> {
+    /// Creates a controller whose estimates refer to the last `window`
+    /// packets observed anywhere in the network, given that the measurement
+    /// points sample with probability `upstream_tau`.
+    pub fn new(counters: usize, window: usize, upstream_tau: f64, seed: u64) -> Self {
+        assert!(
+            upstream_tau > 0.0 && upstream_tau <= 1.0,
+            "upstream tau must be in (0,1]"
+        );
+        let mut memento = Memento::new(counters, window, 1.0, seed);
+        memento.configure_external_sampling(upstream_tau, 1.0 / upstream_tau);
+        DMementoController { memento }
+    }
+
+    /// Ingests one report: Full updates for the samples, Window updates for
+    /// the remaining covered packets.
+    pub fn receive(&mut self, report: &Report<K>) {
+        match &report.payload {
+            ReportPayload::Samples(samples) => {
+                for s in samples {
+                    self.memento.full_update(s.clone());
+                }
+                let rest = report.covered_packets.saturating_sub(samples.len() as u64);
+                for _ in 0..rest {
+                    self.memento.window_update();
+                }
+            }
+            ReportPayload::Aggregation(_) => {
+                panic!("DMementoController only handles Sample/Batch reports")
+            }
+        }
+    }
+
+    /// Estimated network-wide window frequency of a flow.
+    pub fn estimate(&self, key: &K) -> f64 {
+        self.memento.estimate(key)
+    }
+
+    /// Flows estimated above `threshold` packets in the network-wide window.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        self.memento.heavy_hitters(threshold)
+    }
+
+    /// Total packets accounted for so far (samples + window updates).
+    pub fn processed(&self) -> u64 {
+        self.memento.processed()
+    }
+}
+
+/// Network-wide hierarchical heavy-hitters controller (D-H-Memento).
+#[derive(Debug, Clone)]
+pub struct DHMementoController<Hi: Hierarchy>
+where
+    Hi::Prefix: Hash,
+{
+    hmemento: HMemento<Hi>,
+}
+
+impl<Hi: Hierarchy> DHMementoController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    /// Creates a controller for hierarchy `hier` with `counters` counters, a
+    /// network-wide window of `window` packets, measurement points sampling
+    /// at `upstream_tau`, and confidence `delta`.
+    pub fn new(
+        hier: Hi,
+        counters: usize,
+        window: usize,
+        upstream_tau: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Self {
+        DHMementoController {
+            hmemento: HMemento::with_upstream_sampling(
+                hier,
+                counters,
+                window,
+                upstream_tau,
+                delta,
+                seed,
+            ),
+        }
+    }
+
+    /// Ingests one report: Full updates (of one random prefix each) for the
+    /// samples, Window updates for the remaining covered packets.
+    pub fn receive(&mut self, report: &Report<Hi::Item>) {
+        match &report.payload {
+            ReportPayload::Samples(samples) => {
+                for s in samples {
+                    self.hmemento.sampled_update(*s);
+                }
+                let rest = report.covered_packets.saturating_sub(samples.len() as u64);
+                for _ in 0..rest {
+                    self.hmemento.window_update();
+                }
+            }
+            ReportPayload::Aggregation(_) => {
+                panic!("DHMementoController only handles Sample/Batch reports")
+            }
+        }
+    }
+
+    /// Estimated network-wide window frequency of a prefix (upper bound).
+    pub fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.hmemento.estimate(prefix)
+    }
+
+    /// Approximately unbiased point estimate of a prefix's network-wide
+    /// window frequency (what threshold-based mitigation compares against).
+    pub fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.hmemento.point_estimate(prefix)
+    }
+
+    /// The network-wide HHH set for threshold `θ`.
+    pub fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        self.hmemento.output(theta)
+    }
+
+    /// Total packets accounted for so far.
+    pub fn processed(&self) -> u64 {
+        self.hmemento.processed()
+    }
+
+    /// Access to the underlying H-Memento (diagnostics).
+    pub fn as_hmemento(&self) -> &HMemento<Hi> {
+        &self.hmemento
+    }
+}
+
+/// Idealized Aggregation controller: keeps the latest exact snapshot of every
+/// measurement point and merges them without loss.
+#[derive(Debug, Clone)]
+pub struct AggregationController<Hi: Hierarchy>
+where
+    Hi::Prefix: Hash,
+{
+    hier: Hi,
+    window: usize,
+    /// Per-point expanded (per-prefix) counts from the latest snapshot.
+    per_point: HashMap<usize, HashMap<Hi::Prefix, u64>>,
+    /// Sum over points (kept incrementally).
+    global: HashMap<Hi::Prefix, i64>,
+}
+
+impl<Hi: Hierarchy> AggregationController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    /// Creates an Aggregation controller for a network-wide window of
+    /// `window` packets.
+    pub fn new(hier: Hi, window: usize) -> Self {
+        AggregationController {
+            hier,
+            window,
+            per_point: HashMap::new(),
+            global: HashMap::new(),
+        }
+    }
+
+    /// Ingests one aggregation snapshot, replacing the point's previous one.
+    pub fn receive(&mut self, report: &Report<Hi::Item>) {
+        let entries = match &report.payload {
+            ReportPayload::Aggregation(entries) => entries,
+            ReportPayload::Samples(_) => {
+                panic!("AggregationController only handles Aggregation reports")
+            }
+        };
+        // Expand item counts into per-prefix counts.
+        let mut expanded: HashMap<Hi::Prefix, u64> = HashMap::new();
+        for (item, count) in entries {
+            for i in 0..self.hier.h() {
+                *expanded.entry(self.hier.prefix_at(*item, i)).or_insert(0) += count;
+            }
+        }
+        // Subtract the point's previous contribution, add the new one.
+        if let Some(old) = self.per_point.remove(&report.point) {
+            for (p, c) in old {
+                *self.global.entry(p).or_insert(0) -= c as i64;
+            }
+        }
+        for (p, c) in &expanded {
+            *self.global.entry(*p).or_insert(0) += *c as i64;
+        }
+        self.global.retain(|_, v| *v > 0);
+        self.per_point.insert(report.point, expanded);
+    }
+
+    /// Estimated network-wide window frequency of a prefix (sum of the latest
+    /// per-point snapshots; exact up to reporting delay).
+    pub fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.global.get(prefix).copied().unwrap_or(0).max(0) as f64
+    }
+
+    /// The network-wide HHH set for threshold `θ` (relative to the window).
+    pub fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let candidates: Vec<Hi::Prefix> = self.global.keys().copied().collect();
+        compute_hhh(
+            &self.hier,
+            self,
+            &candidates,
+            HhhParams::exact(theta * self.window as f64),
+        )
+    }
+
+    /// Number of points that have reported at least once.
+    pub fn reporting_points(&self) -> usize {
+        self.per_point.len()
+    }
+}
+
+impl<Hi: Hierarchy> PrefixEstimator<Hi::Prefix> for AggregationController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn upper_bound(&self, p: &Hi::Prefix) -> f64 {
+        self.estimate(p)
+    }
+
+    fn lower_bound(&self, p: &Hi::Prefix) -> f64 {
+        self.estimate(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Report, WireFormat};
+    use memento_hierarchy::{Prefix1D, SrcHierarchy};
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn dmemento_controller_scales_by_upstream_tau() {
+        let wire = WireFormat::tcp_src();
+        let tau = 0.5;
+        let mut ctrl: DMementoController<u32> = DMementoController::new(64, 10_000, tau, 1);
+        // 100 reports of 10 samples of flow 7, each covering 20 packets.
+        for _ in 0..100 {
+            let report = Report::samples(0, 20, vec![7u32; 10], &wire);
+            ctrl.receive(&report);
+        }
+        assert_eq!(ctrl.processed(), 2_000);
+        let est = ctrl.estimate(&7);
+        // 1000 samples at tau=0.5 -> ~2000 packets (plus one-sided slack).
+        assert!(est >= 2_000.0, "est = {est}");
+        assert!(est <= 2_000.0 / 0.5, "est = {est}");
+        let hh = ctrl.heavy_hitters(1_000.0);
+        assert!(hh.iter().any(|(k, _)| *k == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "Sample/Batch")]
+    fn dmemento_controller_rejects_aggregation_reports() {
+        let wire = WireFormat::tcp_src();
+        let mut ctrl: DMementoController<u32> = DMementoController::new(8, 100, 0.5, 0);
+        let report = Report::aggregation(0, 10, vec![(1u32, 5u64)], &wire);
+        ctrl.receive(&report);
+    }
+
+    #[test]
+    fn dhmemento_controller_estimates_prefixes() {
+        let wire = WireFormat::tcp_src();
+        let tau = 0.25;
+        let mut ctrl = DHMementoController::new(SrcHierarchy, 1_000, 100_000, tau, 0.01, 3);
+        // Samples all from 10.0.0.0/8, each report covering 1/tau packets per
+        // sample.
+        for i in 0..2_000u32 {
+            let report = Report::samples(0, 4, vec![addr(10, (i % 4) as u8, 0, 1)], &wire);
+            ctrl.receive(&report);
+        }
+        assert_eq!(ctrl.processed(), 8_000);
+        let est = ctrl.estimate(&Prefix1D::new(addr(10, 0, 0, 0), 8));
+        // All 8000 "covered" packets belong to 10/8.
+        assert!(est > 4_000.0, "est = {est}");
+        let hhh = ctrl.output(0.01);
+        assert!(hhh
+            .iter()
+            .any(|p| *p == Prefix1D::new(addr(10, 0, 0, 0), 8) || p.is_root()));
+    }
+
+    #[test]
+    fn aggregation_controller_merges_and_replaces_snapshots() {
+        let wire = WireFormat::tcp_src();
+        let mut ctrl = AggregationController::new(SrcHierarchy, 1_000);
+        let p8 = Prefix1D::new(addr(10, 0, 0, 0), 8);
+        // Point 0 reports 10.1.1.1 x 100, point 1 reports 10.2.2.2 x 50.
+        ctrl.receive(&Report::aggregation(0, 100, vec![(addr(10, 1, 1, 1), 100)], &wire));
+        ctrl.receive(&Report::aggregation(1, 50, vec![(addr(10, 2, 2, 2), 50)], &wire));
+        assert_eq!(ctrl.reporting_points(), 2);
+        assert_eq!(ctrl.estimate(&p8), 150.0);
+        // Point 0 sends a fresh snapshot replacing the old one.
+        ctrl.receive(&Report::aggregation(0, 80, vec![(addr(10, 1, 1, 1), 20)], &wire));
+        assert_eq!(ctrl.estimate(&p8), 70.0);
+        // HHH output: the 50-packet host reaches the threshold (0.05·1000);
+        // the /8's residual after removing it is only 20, so it is not
+        // reported — exactly the conditioned-frequency semantics.
+        let hhh = ctrl.output(0.05);
+        assert_eq!(hhh, vec![Prefix1D::new(addr(10, 2, 2, 2), 32)]);
+        // With a lower threshold both hosts qualify individually and the /8
+        // residual becomes zero, so it is still (correctly) absent.
+        let hhh = ctrl.output(0.015);
+        assert!(hhh.contains(&Prefix1D::new(addr(10, 1, 1, 1), 32)));
+        assert!(hhh.contains(&Prefix1D::new(addr(10, 2, 2, 2), 32)));
+        assert!(!hhh.contains(&p8), "{hhh:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Aggregation reports")]
+    fn aggregation_controller_rejects_sample_reports() {
+        let wire = WireFormat::tcp_src();
+        let mut ctrl = AggregationController::new(SrcHierarchy, 100);
+        ctrl.receive(&Report::samples(0, 1, vec![addr(1, 1, 1, 1)], &wire));
+    }
+}

@@ -1,0 +1,37 @@
+//! # memento-netwide
+//!
+//! Network-wide sliding-window measurement from §4.3 / §5.2 / §6.3 of the
+//! [Memento paper][paper]: D-Memento (heavy hitters) and D-H-Memento
+//! (hierarchical heavy hitters) with a centralized controller fed by `m`
+//! measurement points under a per-packet bandwidth budget.
+//!
+//! * [`message`] — the report formats and their byte accounting (header
+//!   overhead `O`, per-sample payload `E`).
+//! * [`comm`] — the three communication methods the paper compares:
+//!   **Aggregation** (periodic full-state snapshots), **Sample** (one sampled
+//!   packet per report) and **Batch** (`b` sampled packets per report), each
+//!   scheduled to exactly exhaust the budget `B`.
+//! * [`point`] — the per-client measurement point logic.
+//! * [`controller`] — the controller algorithms: [`DMementoController`],
+//!   [`DHMementoController`], the idealized [`AggregationController`]
+//!   baseline and the exact OPT oracle.
+//! * [`simulator`] — a deterministic discrete-event driver that spreads a
+//!   trace over the measurement points, delivers reports and compares the
+//!   controller's view against the exact global window (Figures 9 and 10).
+//!
+//! [paper]: https://arxiv.org/abs/1810.02899
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod controller;
+pub mod message;
+pub mod point;
+pub mod simulator;
+
+pub use comm::CommMethod;
+pub use controller::{AggregationController, DHMementoController, DMementoController};
+pub use message::{Report, ReportPayload, WireFormat};
+pub use point::MeasurementPoint;
+pub use simulator::{NetworkSimulator, SimConfig, SimMetrics};

@@ -1,0 +1,168 @@
+//! Report formats exchanged between measurement points and the controller,
+//! and their byte accounting.
+//!
+//! The paper's bandwidth model (§5.2) charges every report a fixed transport
+//! header of `O` bytes (64 for TCP) plus `E` bytes per reported sample
+//! (4 bytes for a source IP, 8 for a source/destination pair). Aggregation
+//! snapshots are charged `O` plus an entry size per reported counter. The
+//! measurement points schedule their reports so the long-run average stays
+//! within the per-packet budget `B`.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte-accounting constants / parameters of the report wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireFormat {
+    /// Minimal header size `O` in bytes of the transport carrying reports.
+    pub header_overhead: f64,
+    /// Bytes `E` required to encode one sampled packet.
+    pub sample_bytes: f64,
+    /// Bytes required per counter entry in an Aggregation snapshot
+    /// (key + count).
+    pub aggregation_entry_bytes: f64,
+}
+
+impl WireFormat {
+    /// TCP transport with source-IP samples (the paper's 1D setting:
+    /// `O = 64`, `E = 4`); aggregation entries carry a 4-byte key and a
+    /// 4-byte count.
+    pub fn tcp_src() -> Self {
+        WireFormat {
+            header_overhead: 64.0,
+            sample_bytes: 4.0,
+            aggregation_entry_bytes: 8.0,
+        }
+    }
+
+    /// TCP transport with (source, destination) samples (the 2D setting:
+    /// `O = 64`, `E = 8`).
+    pub fn tcp_src_dst() -> Self {
+        WireFormat {
+            header_overhead: 64.0,
+            sample_bytes: 8.0,
+            aggregation_entry_bytes: 12.0,
+        }
+    }
+
+    /// Size in bytes of a sample/batch report carrying `samples` samples.
+    pub fn report_bytes(&self, samples: usize) -> f64 {
+        self.header_overhead + self.sample_bytes * samples as f64
+    }
+
+    /// Size in bytes of an aggregation snapshot with `entries` counters.
+    pub fn aggregation_bytes(&self, entries: usize) -> f64 {
+        self.header_overhead + self.aggregation_entry_bytes * entries as f64
+    }
+}
+
+/// The payload of one report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReportPayload<T> {
+    /// Sampled packets (Sample method: one on average; Batch method: `b`).
+    Samples(Vec<T>),
+    /// An aggregation snapshot: per-key exact counts of the point's share of
+    /// the window (idealized Aggregation baseline).
+    Aggregation(Vec<(T, u64)>),
+}
+
+impl<T> ReportPayload<T> {
+    /// Number of samples / entries carried.
+    pub fn len(&self) -> usize {
+        match self {
+            ReportPayload::Samples(v) => v.len(),
+            ReportPayload::Aggregation(v) => v.len(),
+        }
+    }
+
+    /// True when the payload carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A report sent from a measurement point to the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report<T> {
+    /// Identifier of the sending measurement point.
+    pub point: usize,
+    /// Number of packets observed at the point since its previous report
+    /// (the controller uses it to issue Window updates for the un-sampled
+    /// packets).
+    pub covered_packets: u64,
+    /// The payload.
+    pub payload: ReportPayload<T>,
+    /// Size of this report on the wire, in bytes (per the [`WireFormat`]).
+    pub bytes: f64,
+}
+
+impl<T> Report<T> {
+    /// Builds a samples report and computes its wire size.
+    pub fn samples(point: usize, covered_packets: u64, samples: Vec<T>, wire: &WireFormat) -> Self {
+        let bytes = wire.report_bytes(samples.len());
+        Report {
+            point,
+            covered_packets,
+            payload: ReportPayload::Samples(samples),
+            bytes,
+        }
+    }
+
+    /// Builds an aggregation report and computes its wire size.
+    pub fn aggregation(
+        point: usize,
+        covered_packets: u64,
+        entries: Vec<(T, u64)>,
+        wire: &WireFormat,
+    ) -> Self {
+        let bytes = wire.aggregation_bytes(entries.len());
+        Report {
+            point,
+            covered_packets,
+            payload: ReportPayload::Aggregation(entries),
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_src_matches_paper_constants() {
+        let w = WireFormat::tcp_src();
+        assert_eq!(w.header_overhead, 64.0);
+        assert_eq!(w.sample_bytes, 4.0);
+        assert_eq!(w.report_bytes(1), 68.0);
+        assert_eq!(w.report_bytes(100), 464.0);
+        let w2 = WireFormat::tcp_src_dst();
+        assert_eq!(w2.report_bytes(1), 72.0);
+    }
+
+    #[test]
+    fn report_constructors_account_bytes() {
+        let wire = WireFormat::tcp_src();
+        let r = Report::samples(3, 1000, vec![1u32, 2, 3], &wire);
+        assert_eq!(r.bytes, 64.0 + 12.0);
+        assert_eq!(r.payload.len(), 3);
+        assert!(!r.payload.is_empty());
+        let a = Report::aggregation(1, 500, vec![(7u32, 42u64)], &wire);
+        assert_eq!(a.bytes, 64.0 + 8.0);
+        assert_eq!(a.covered_packets, 500);
+    }
+
+    #[test]
+    fn payload_len_empty() {
+        let p: ReportPayload<u32> = ReportPayload::Samples(vec![]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn reports_serialize_roundtrip() {
+        let wire = WireFormat::tcp_src();
+        let r = Report::samples(0, 10, vec![9u32], &wire);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

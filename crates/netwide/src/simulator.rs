@@ -1,0 +1,360 @@
+//! Network-wide simulation driver.
+//!
+//! Spreads a packet stream over `m` measurement points, runs the configured
+//! communication method under the bandwidth budget, delivers reports to the
+//! controller, and keeps an exact global sliding-window oracle so that the
+//! controller's view can be scored (the setup behind Figures 9 and 10).
+
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memento_baselines::ExactWindowHhh;
+use memento_hierarchy::Hierarchy;
+
+use crate::comm::CommMethod;
+use crate::controller::{AggregationController, DHMementoController};
+use crate::message::WireFormat;
+use crate::point::MeasurementPoint;
+
+/// Configuration of a network-wide simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of measurement points `m` (the paper's testbed uses 10).
+    pub points: usize,
+    /// Network-wide window size `W` in packets.
+    pub window: usize,
+    /// Per-packet bandwidth budget `B` in bytes (the paper evaluates 1).
+    pub budget: f64,
+    /// Counters allocated to the controller's (H-)Memento instance.
+    pub counters: usize,
+    /// Communication method.
+    pub method: CommMethod,
+    /// Confidence parameter δ for the controller's sampling compensation.
+    pub delta: f64,
+    /// RNG seed (packet→point assignment, sampling).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            points: 10,
+            window: 100_000,
+            budget: 1.0,
+            counters: 4_096,
+            method: CommMethod::Batch(44),
+            delta: 0.01,
+            seed: 42,
+        }
+    }
+}
+
+/// The controller variant running in a simulation.
+#[derive(Debug, Clone)]
+enum ControllerKind<Hi: Hierarchy>
+where
+    Hi::Prefix: Hash,
+{
+    Memento(DHMementoController<Hi>),
+    Aggregation(AggregationController<Hi>),
+}
+
+/// A deterministic network-wide measurement simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkSimulator<Hi: Hierarchy>
+where
+    Hi::Prefix: Hash,
+{
+    hier: Hi,
+    config: SimConfig,
+    wire: WireFormat,
+    points: Vec<MeasurementPoint<Hi::Item>>,
+    controller: ControllerKind<Hi>,
+    oracle: ExactWindowHhh<Hi>,
+    assign_rng: StdRng,
+    packets: u64,
+    reports: u64,
+    bytes: f64,
+}
+
+impl<Hi: Hierarchy> NetworkSimulator<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    /// Creates a simulator.
+    pub fn new(hier: Hi, config: SimConfig, wire: WireFormat) -> Self {
+        assert!(config.points > 0, "at least one measurement point");
+        assert!(config.window > 0, "window must be positive");
+        let upstream_tau = config.method.tau_for_budget(config.budget, &wire);
+        let local_window = (config.window / config.points).max(1);
+        let points = (0..config.points)
+            .map(|id| {
+                MeasurementPoint::new(id, config.method, config.budget, wire, local_window, config.seed)
+            })
+            .collect();
+        let controller = match config.method {
+            CommMethod::Aggregation => {
+                ControllerKind::Aggregation(AggregationController::new(hier.clone(), config.window))
+            }
+            _ => ControllerKind::Memento(DHMementoController::new(
+                hier.clone(),
+                config.counters,
+                config.window,
+                upstream_tau,
+                config.delta,
+                config.seed,
+            )),
+        };
+        let oracle = ExactWindowHhh::new(hier.clone(), config.window);
+        NetworkSimulator {
+            hier,
+            config,
+            wire,
+            points,
+            controller,
+            oracle,
+            assign_rng: StdRng::seed_from_u64(config.seed ^ 0xA55A),
+            packets: 0,
+            reports: 0,
+            bytes: 0.0,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The hierarchy.
+    pub fn hierarchy(&self) -> &Hi {
+        &self.hier
+    }
+
+    /// The wire format (byte accounting) used by the measurement points.
+    pub fn wire(&self) -> &WireFormat {
+        &self.wire
+    }
+
+    /// Number of packets processed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Number of reports delivered to the controller so far.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Total control-plane bytes sent so far.
+    pub fn control_bytes(&self) -> f64 {
+        self.bytes
+    }
+
+    /// Average control bytes per ingress packet (must stay near the budget).
+    pub fn bytes_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes / self.packets as f64
+        }
+    }
+
+    /// Processes one packet: assigns it to a uniformly random measurement
+    /// point (each packet is measured exactly once, as in the paper's model),
+    /// delivers any emitted report to the controller, and updates the exact
+    /// oracle.
+    pub fn process(&mut self, item: Hi::Item) {
+        self.packets += 1;
+        self.oracle.update(item);
+        let idx = self.assign_rng.gen_range(0..self.points.len());
+        if let Some(report) = self.points[idx].process(item) {
+            self.bytes += report.bytes;
+            self.reports += 1;
+            match &mut self.controller {
+                ControllerKind::Memento(c) => c.receive(&report),
+                ControllerKind::Aggregation(c) => c.receive(&report),
+            }
+        }
+    }
+
+    /// The controller's estimate of a prefix's network-wide window frequency.
+    pub fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        match &self.controller {
+            ControllerKind::Memento(c) => c.estimate(prefix),
+            ControllerKind::Aggregation(c) => c.estimate(prefix),
+        }
+    }
+
+    /// The exact network-wide window frequency of a prefix.
+    pub fn exact(&self, prefix: &Hi::Prefix) -> u64 {
+        self.oracle.frequency(prefix)
+    }
+
+    /// The controller's HHH set for threshold `θ`.
+    pub fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        match &self.controller {
+            ControllerKind::Memento(c) => c.output(theta),
+            ControllerKind::Aggregation(c) => c.output(theta),
+        }
+    }
+
+    /// The exact (OPT) HHH set for threshold `θ`.
+    pub fn exact_output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        self.oracle.output(theta)
+    }
+
+    /// The exact oracle (OPT), e.g. for detection-latency comparisons.
+    pub fn oracle(&self) -> &ExactWindowHhh<Hi> {
+        &self.oracle
+    }
+}
+
+/// Streaming error metrics (the on-arrival RMSE of §6).
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    sum_sq: f64,
+    sum_abs: f64,
+    n: u64,
+}
+
+impl SimMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        SimMetrics::default()
+    }
+
+    /// Records one (estimate, exact) observation.
+    pub fn record(&mut self, estimate: f64, exact: f64) {
+        let d = estimate - exact;
+        self.sum_sq += d * d;
+        self.sum_abs += d.abs();
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Root-mean-square error.
+    pub fn rmse(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.n as f64).sqrt()
+        }
+    }
+
+    /// Mean absolute error.
+    pub fn mae(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_hierarchy::{Prefix1D, SrcHierarchy};
+    use memento_traces::{TraceGenerator, TracePreset};
+
+    fn run(method: CommMethod, n: usize) -> (NetworkSimulator<SrcHierarchy>, SimMetrics) {
+        let config = SimConfig {
+            points: 5,
+            window: 20_000,
+            budget: 1.0,
+            counters: 2_048,
+            method,
+            delta: 0.01,
+            seed: 7,
+        };
+        let mut sim = NetworkSimulator::new(SrcHierarchy, config, WireFormat::tcp_src());
+        let mut gen = TraceGenerator::new(TracePreset::tiny(), 3);
+        let mut metrics = SimMetrics::new();
+        for i in 0..n {
+            let pkt = gen.next_packet();
+            sim.process(pkt.src);
+            // Score the /8 estimate on arrival every 100 packets, after warmup.
+            if i > n / 2 && i % 100 == 0 {
+                let p = Prefix1D::new(pkt.src, 8);
+                metrics.record(sim.estimate(&p), sim.exact(&p) as f64);
+            }
+        }
+        (sim, metrics)
+    }
+
+    #[test]
+    fn batch_respects_budget_and_tracks_truth() {
+        let (sim, metrics) = run(CommMethod::Batch(44), 60_000);
+        assert!(sim.bytes_per_packet() <= 1.05, "budget exceeded: {}", sim.bytes_per_packet());
+        assert!(sim.reports() > 0);
+        assert!(metrics.count() > 0);
+        // Estimates must be in the right order of magnitude for /8 subnets.
+        assert!(
+            metrics.rmse() < sim.config().window as f64 * 0.5,
+            "rmse = {}",
+            metrics.rmse()
+        );
+    }
+
+    #[test]
+    fn sample_and_aggregation_also_respect_budget() {
+        for method in [CommMethod::Sample, CommMethod::Aggregation] {
+            let (sim, _) = run(method, 40_000);
+            assert!(
+                sim.bytes_per_packet() <= 1.1,
+                "{:?} exceeded budget: {}",
+                method,
+                sim.bytes_per_packet()
+            );
+            assert!(sim.reports() > 0, "{method:?} never reported");
+        }
+    }
+
+    #[test]
+    fn batch_is_more_accurate_than_sample_for_equal_budget() {
+        let (_, batch) = run(CommMethod::Batch(44), 80_000);
+        let (_, sample) = run(CommMethod::Sample, 80_000);
+        assert!(
+            batch.rmse() <= sample.rmse() * 1.5,
+            "batch rmse {} should not be much worse than sample {}",
+            batch.rmse(),
+            sample.rmse()
+        );
+    }
+
+    #[test]
+    fn controller_output_overlaps_exact_output() {
+        let (sim, _) = run(CommMethod::Batch(44), 60_000);
+        let theta = 0.1;
+        let exact = sim.exact_output(theta);
+        let approx = sim.output(theta);
+        // Every exact network-wide HHH should be covered by some reported
+        // prefix (possibly an ancestor) — the approximate set errs on the
+        // side of reporting more.
+        for p in &exact {
+            assert!(
+                approx.iter().any(|q| q == p || sim.hierarchy().generalizes(q, p)),
+                "exact HHH {p} not covered by {approx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_accumulator_math() {
+        let mut m = SimMetrics::new();
+        m.record(3.0, 1.0);
+        m.record(1.0, 1.0);
+        assert_eq!(m.count(), 2);
+        assert!((m.rmse() - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+        assert!((m.mae() - 1.0).abs() < 1e-12);
+        let empty = SimMetrics::new();
+        assert_eq!(empty.rmse(), 0.0);
+        assert_eq!(empty.mae(), 0.0);
+    }
+}

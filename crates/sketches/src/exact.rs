@@ -1,0 +1,243 @@
+//! Exact reference counters.
+//!
+//! These are the ground-truth oracles behind every error metric in the
+//! paper's evaluation (the on-arrival RMSE of §6, the flood-detection OPT
+//! line of Figure 10, and all property tests).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Exact interval counter: counts every occurrence since creation or the last
+/// [`ExactInterval::reset`]. This models the paper's "Interval" measurement
+/// discipline at its most accurate.
+#[derive(Debug, Clone, Default)]
+pub struct ExactInterval<K: Eq + Hash + Clone> {
+    counts: HashMap<K, u64>,
+    processed: u64,
+}
+
+impl<K: Eq + Hash + Clone> ExactInterval<K> {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        ExactInterval {
+            counts: HashMap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.processed += 1;
+    }
+
+    /// Exact count of `key` in the current interval.
+    pub fn query(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of items in the current interval.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Starts a fresh interval.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.processed = 0;
+    }
+
+    /// All keys whose count is at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Iterates over all `(key, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+}
+
+/// Exact sliding-window counter over the last `window` items.
+///
+/// Keeps a ring buffer of the last `window` keys plus a hash map of their
+/// counts, so both update and query are O(1) (amortized) and memory is
+/// O(window) — exactly the cost the paper's approximate algorithms avoid.
+#[derive(Debug, Clone)]
+pub struct ExactWindow<K: Eq + Hash + Clone> {
+    window: usize,
+    ring: VecDeque<K>,
+    counts: HashMap<K, u64>,
+    processed: u64,
+}
+
+impl<K: Eq + Hash + Clone> ExactWindow<K> {
+    /// Creates a counter over the last `window` items.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        ExactWindow {
+            window,
+            ring: VecDeque::with_capacity(window),
+            counts: HashMap::new(),
+            processed: 0,
+        }
+    }
+
+    /// The window size `W`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total number of items ever processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of items currently inside the window (`min(processed, W)`).
+    pub fn occupancy(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Records one occurrence of `key`, expiring the oldest item if the
+    /// window is full.
+    pub fn add(&mut self, key: K) {
+        if self.ring.len() == self.window {
+            if let Some(old) = self.ring.pop_front() {
+                if let Some(c) = self.counts.get_mut(&old) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.counts.remove(&old);
+                    }
+                }
+            }
+        }
+        self.ring.push_back(key.clone());
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.processed += 1;
+    }
+
+    /// Exact count of `key` among the last `W` items.
+    pub fn query(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// All keys whose window count is at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Iterates over all `(key, window count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// Number of distinct keys in the window.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_counts_exactly() {
+        let mut c = ExactInterval::new();
+        for x in [1, 2, 1, 1, 3] {
+            c.add(x);
+        }
+        assert_eq!(c.query(&1), 3);
+        assert_eq!(c.query(&2), 1);
+        assert_eq!(c.query(&4), 0);
+        assert_eq!(c.processed(), 5);
+        c.reset();
+        assert_eq!(c.query(&1), 0);
+        assert_eq!(c.processed(), 0);
+    }
+
+    #[test]
+    fn interval_heavy_hitters() {
+        let mut c = ExactInterval::new();
+        for _ in 0..5 {
+            c.add("a");
+        }
+        for _ in 0..2 {
+            c.add("b");
+        }
+        assert_eq!(c.heavy_hitters(3), vec![("a", 5)]);
+        assert_eq!(c.heavy_hitters(1).len(), 2);
+    }
+
+    #[test]
+    fn window_expires_old_items() {
+        let mut w = ExactWindow::new(3);
+        w.add(1);
+        w.add(1);
+        w.add(2);
+        assert_eq!(w.query(&1), 2);
+        w.add(3); // expels the first 1
+        assert_eq!(w.query(&1), 1);
+        w.add(3); // expels the second 1
+        assert_eq!(w.query(&1), 0);
+        assert_eq!(w.query(&3), 2);
+        assert_eq!(w.occupancy(), 3);
+        assert_eq!(w.distinct(), 2);
+    }
+
+    #[test]
+    fn window_matches_naive_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let window = 50;
+        let mut w = ExactWindow::new(window);
+        let mut stream = Vec::new();
+        for i in 0..2_000 {
+            let key = rng.gen_range(0u32..20);
+            stream.push(key);
+            w.add(key);
+            if i % 97 == 0 {
+                let start = stream.len().saturating_sub(window);
+                let probe = rng.gen_range(0u32..20);
+                let naive = stream[start..].iter().filter(|&&k| k == probe).count() as u64;
+                assert_eq!(w.query(&probe), naive);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = ExactWindow::<u32>::new(0);
+    }
+
+    #[test]
+    fn window_heavy_hitters_sorted() {
+        let mut w = ExactWindow::new(10);
+        for _ in 0..6 {
+            w.add("hh");
+        }
+        for _ in 0..4 {
+            w.add("small");
+        }
+        let hh = w.heavy_hitters(5);
+        assert_eq!(hh, vec![("hh", 6)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The queue-of-queues `b` from Algorithm 1 of the Memento paper.
+//!
+//! Memento divides the window of `W` packets into `k` blocks. For every block
+//! that still overlaps the sliding window it keeps a FIFO queue of the flow
+//! identifiers that *overflowed* (crossed a multiple of the block size) during
+//! that block — `k + 1` queues in total: the block currently being filled plus
+//! the `k` previous ones.
+//!
+//! Two operations matter:
+//! * when a block ends, the oldest queue is dropped and a fresh empty queue is
+//!   appended ([`OverflowQueue::rotate`]);
+//! * on *every* packet at most one identifier is popped from the oldest queue
+//!   ([`OverflowQueue::pop_oldest`]) so that the per-flow overflow table `B`
+//!   is updated incrementally — this is the de-amortization that gives
+//!   Memento its constant worst-case update time (paper, §4.1).
+
+use std::collections::VecDeque;
+
+/// Queue of per-block overflow queues.
+#[derive(Debug, Clone)]
+pub struct OverflowQueue<K> {
+    /// `queues[0]` is the oldest block still tracked, `queues.back()` is the
+    /// block currently being filled.
+    queues: VecDeque<VecDeque<K>>,
+    blocks: usize,
+}
+
+impl<K> OverflowQueue<K> {
+    /// Creates a structure tracking `blocks + 1` block queues (the paper's
+    /// `k + 1`: `k` past blocks plus the current one).
+    ///
+    /// # Panics
+    /// Panics if `blocks == 0`.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0, "at least one block is required");
+        let mut queues = VecDeque::with_capacity(blocks + 1);
+        for _ in 0..=blocks {
+            queues.push_back(VecDeque::new());
+        }
+        OverflowQueue { queues, blocks }
+    }
+
+    /// Number of past blocks tracked (the `k` of Algorithm 1).
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Records that `key` overflowed during the current block.
+    pub fn push_current(&mut self, key: K) {
+        self.queues
+            .back_mut()
+            .expect("queue list is never empty")
+            .push_back(key);
+    }
+
+    /// Pops one identifier from the oldest block's queue, if any.
+    /// Called once per packet to de-amortize expiry of overflow counts.
+    pub fn pop_oldest(&mut self) -> Option<K> {
+        // The oldest non-empty queue among the expired ones would normally be
+        // `queues[0]`; popping strictly from the front matches Algorithm 1
+        // (`b.tail.POP()`).
+        self.queues
+            .front_mut()
+            .expect("queue list is never empty")
+            .pop_front()
+    }
+
+    /// Block-boundary rotation: drops the oldest queue and appends a fresh
+    /// empty queue for the new block. Returns the identifiers that were still
+    /// pending in the dropped queue (normally empty thanks to the
+    /// de-amortized draining; callers must still retire them to keep the
+    /// overflow table exact).
+    pub fn rotate(&mut self) -> VecDeque<K> {
+        let dropped = self
+            .queues
+            .pop_front()
+            .expect("queue list is never empty");
+        self.queues.push_back(VecDeque::new());
+        dropped
+    }
+
+    /// Total number of queued identifiers across all blocks.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Number of identifiers queued in the current (newest) block.
+    pub fn current_len(&self) -> usize {
+        self.queues.back().map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Number of identifiers queued in the oldest tracked block.
+    pub fn oldest_len(&self) -> usize {
+        self.queues.front().map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Clears every queue (used when the enclosing algorithm is reset).
+    pub fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_blocks_plus_one_queues() {
+        let q = OverflowQueue::<u32>::new(4);
+        assert_eq!(q.blocks(), 4);
+        assert_eq!(q.queues.len(), 5);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn push_goes_to_newest_pop_comes_from_oldest() {
+        let mut q = OverflowQueue::new(2);
+        q.push_current(1);
+        q.push_current(2);
+        // Nothing in the oldest block yet.
+        assert_eq!(q.pop_oldest(), None);
+        // After two rotations the block holding 1,2 becomes the oldest.
+        q.rotate();
+        q.rotate();
+        assert_eq!(q.pop_oldest(), Some(1));
+        assert_eq!(q.pop_oldest(), Some(2));
+        assert_eq!(q.pop_oldest(), None);
+    }
+
+    #[test]
+    fn rotate_returns_undrained_items() {
+        let mut q = OverflowQueue::new(1);
+        q.push_current(7);
+        q.rotate(); // 7's block is now oldest
+        let dropped = q.rotate(); // 7 was never drained
+        assert_eq!(dropped, VecDeque::from(vec![7]));
+    }
+
+    #[test]
+    fn draining_keeps_up_with_blocks() {
+        // If we pop once per "packet" and a block holds at most as many
+        // overflows as packets, the oldest queue is empty by rotation time.
+        let mut q = OverflowQueue::new(3);
+        let block_size = 10;
+        for _block in 0..20 {
+            for pkt in 0..block_size {
+                if pkt % 3 == 0 {
+                    q.push_current(pkt);
+                }
+                let _ = q.pop_oldest();
+            }
+            let dropped = q.rotate();
+            assert!(dropped.is_empty(), "de-amortized drain must keep up");
+        }
+    }
+
+    #[test]
+    fn clear_empties_all_queues() {
+        let mut q = OverflowQueue::new(2);
+        q.push_current(1);
+        q.rotate();
+        q.push_current(2);
+        q.clear();
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.current_len(), 0);
+        assert_eq!(q.oldest_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = OverflowQueue::<u32>::new(0);
+    }
+}

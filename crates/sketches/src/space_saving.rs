@@ -1,0 +1,348 @@
+//! Space Saving (Metwally, Agrawal, El Abbadi — ICDT 2005).
+//!
+//! The algorithm keeps `k` counters. A packet of a monitored flow increments
+//! that flow's counter; a packet of an unmonitored flow either takes a free
+//! counter (count 1) or takes over the *minimum* counter, inheriting its count
+//! (charged as `error`) and incrementing it. Queries return the counter value
+//! when the flow is monitored and the minimum counter value otherwise, so the
+//! estimate never undershoots the true count and overshoots by at most `N/k`
+//! after `N` insertions.
+//!
+//! In this reproduction Space Saving is used:
+//! * per frame inside [Memento / WCSS](https://arxiv.org/abs/1810.02899)
+//!   (`y` in Algorithm 1, flushed at frame boundaries),
+//! * per prefix level in the MST and RHHH baselines,
+//! * as the mergeable summary behind the network-wide Aggregation baseline.
+
+use std::hash::Hash;
+
+use crate::stream_summary::StreamSummary;
+
+/// A snapshot of one Space Saving counter, used for merging, reporting and
+/// heavy-hitter extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot<K> {
+    /// Monitored key.
+    pub key: K,
+    /// Estimated count (upper bound on the true count).
+    pub count: u64,
+    /// Error term: the count inherited when the key took over the slot.
+    /// `count - error` is a lower bound on the true count.
+    pub error: u64,
+}
+
+/// The Space Saving frequency-estimation algorithm with `k` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Eq + Hash + Clone> {
+    summary: StreamSummary<K>,
+    processed: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Creates an instance with `counters` counters.
+    ///
+    /// # Panics
+    /// Panics if `counters == 0`.
+    pub fn new(counters: usize) -> Self {
+        SpaceSaving {
+            summary: StreamSummary::new(counters),
+            processed: 0,
+        }
+    }
+
+    /// Creates an instance sized for an additive error of `epsilon * N`
+    /// (i.e. `ceil(1/epsilon)` counters).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        Self::new((1.0 / epsilon).ceil() as usize)
+    }
+
+    /// Number of counters.
+    pub fn counters(&self) -> usize {
+        self.summary.capacity()
+    }
+
+    /// Number of items processed since creation or the last [`Self::flush`].
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of currently monitored keys.
+    pub fn monitored(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Processes one occurrence of `key` and returns its new estimate.
+    pub fn add(&mut self, key: K) -> u64 {
+        self.processed += 1;
+        if self.summary.contains(&key) {
+            self.summary.increment(&key).expect("key just checked")
+        } else if !self.summary.is_full() {
+            self.summary.insert_new(key).expect("summary not full")
+        } else {
+            self.summary.replace_min(key).0
+        }
+    }
+
+    /// Estimated count of `key` (the counter value when monitored, otherwise
+    /// the minimum counter value). Never underestimates the true count.
+    ///
+    /// When the summary still has free counters an absent key has necessarily
+    /// never been seen, so the estimate is 0 rather than the minimum counter.
+    pub fn query(&self, key: &K) -> u64 {
+        self.summary.get(key).unwrap_or_else(|| {
+            if self.summary.is_full() {
+                self.summary.min_count()
+            } else {
+                0
+            }
+        })
+    }
+
+    /// A guaranteed lower bound on the count of `key` (`count - error` when
+    /// monitored, 0 otherwise).
+    pub fn query_lower(&self, key: &K) -> u64 {
+        self.summary
+            .get_with_error(key)
+            .map(|(c, e)| c - e)
+            .unwrap_or(0)
+    }
+
+    /// True when `key` currently holds a counter.
+    pub fn is_monitored(&self, key: &K) -> bool {
+        self.summary.contains(key)
+    }
+
+    /// Current minimum counter value (0 when empty).
+    pub fn min_count(&self) -> u64 {
+        self.summary.min_count()
+    }
+
+    /// Clears all counters (Memento calls this at every frame boundary).
+    pub fn flush(&mut self) {
+        self.summary.clear();
+        self.processed = 0;
+    }
+
+    /// Returns all keys whose *estimated* count is at least `threshold`
+    /// (a superset of the true heavy hitters since estimates never
+    /// underestimate).
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<CounterSnapshot<K>> {
+        let mut out: Vec<_> = self
+            .summary
+            .iter()
+            .filter(|&(_, count, _)| count >= threshold)
+            .map(|(k, count, error)| CounterSnapshot {
+                key: k.clone(),
+                count,
+                error,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// Snapshot of every counter (used for merging and for the Aggregation
+    /// communication method).
+    pub fn snapshot(&self) -> Vec<CounterSnapshot<K>> {
+        self.summary
+            .iter()
+            .map(|(k, count, error)| CounterSnapshot {
+                key: k.clone(),
+                count,
+                error,
+            })
+            .collect()
+    }
+
+    /// Merges another instance's snapshot into a *combined* summary of the
+    /// given capacity (standard mergeability of counter-based summaries,
+    /// [Agarwal et al.]): counts of common keys add up; the result is then
+    /// truncated to the `capacity` largest counters, folding the dropped mass
+    /// into the error terms is not required for upper-bound queries.
+    pub fn merge_snapshots(
+        snapshots: &[Vec<CounterSnapshot<K>>],
+        capacity: usize,
+    ) -> SpaceSaving<K> {
+        use std::collections::HashMap;
+        let mut combined: HashMap<K, (u64, u64)> = HashMap::new();
+        for snap in snapshots {
+            for c in snap {
+                let entry = combined.entry(c.key.clone()).or_insert((0, 0));
+                entry.0 += c.count;
+                entry.1 += c.error;
+            }
+        }
+        let mut all: Vec<_> = combined.into_iter().collect();
+        all.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+        all.truncate(capacity);
+        // Rebuild a SpaceSaving holding the merged counts. We bypass `add` by
+        // re-inserting each key `count` times worth of structure: since the
+        // stream summary only supports +1 increments we instead rebuild with
+        // direct increments (costly only at merge time, which is rare).
+        let mut out = SpaceSaving::new(capacity);
+        for (key, (count, _error)) in all {
+            // First touch allocates the slot, remaining increments raise it.
+            out.summary_insert_with_count(key, count);
+        }
+        out
+    }
+
+    /// Internal helper for merge: inserts `key` with an explicit count.
+    fn summary_insert_with_count(&mut self, key: K, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if !self.summary.contains(&key) {
+            if self.summary.is_full() {
+                self.summary.replace_min(key.clone());
+            } else {
+                self.summary.insert_new(key.clone());
+            }
+        }
+        let current = self.summary.get(&key).unwrap_or(0);
+        for _ in current..count {
+            self.summary.increment(&key);
+        }
+        self.processed += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_enough_counters() {
+        let mut ss = SpaceSaving::new(8);
+        let stream = [1u32, 2, 1, 3, 1, 2, 1];
+        for &x in &stream {
+            ss.add(x);
+        }
+        assert_eq!(ss.query(&1), 4);
+        assert_eq!(ss.query(&2), 2);
+        assert_eq!(ss.query(&3), 1);
+        assert_eq!(ss.query(&4), 0, "absent key while counters are free");
+    }
+
+    #[test]
+    fn absent_key_returns_min_counter() {
+        let mut ss = SpaceSaving::new(2);
+        for &x in &[1u32, 1, 2, 2, 2] {
+            ss.add(x);
+        }
+        // counters: 1 -> 2, 2 -> 3 ; min = 2
+        assert_eq!(ss.query(&99), 2);
+    }
+
+    #[test]
+    fn eviction_follows_space_saving_rule() {
+        let mut ss = SpaceSaving::new(2);
+        ss.add("x");
+        ss.add("x");
+        ss.add("x");
+        ss.add("x"); // x=4
+        ss.add("y"); // y=1
+        // paper's own example: new flow y with min counter 4 -> value 5
+        let mut ss2 = SpaceSaving::new(1);
+        for _ in 0..4 {
+            ss2.add("x");
+        }
+        assert_eq!(ss2.add("y"), 5);
+        assert!(!ss2.is_monitored(&"x"));
+        assert_eq!(ss.query(&"y"), 1);
+    }
+
+    #[test]
+    fn overestimation_bounded_by_n_over_k() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use std::collections::HashMap;
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = 32;
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let n = 20_000u64;
+        for _ in 0..n {
+            // Zipf-ish skew via squaring.
+            let r: f64 = rng.gen();
+            let key = (r * r * 500.0) as u32;
+            ss.add(key);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        for key in truth.keys() {
+            let est = ss.query(key);
+            let real = truth[key];
+            assert!(est >= real, "Space Saving must never underestimate");
+            assert!(
+                est - real <= n / k as u64,
+                "overestimation {} exceeds N/k={}",
+                est - real,
+                n / k as u64
+            );
+            assert!(ss.query_lower(key) <= real, "lower bound must hold");
+        }
+    }
+
+    #[test]
+    fn flush_clears_state() {
+        let mut ss = SpaceSaving::new(4);
+        ss.add(1);
+        ss.add(1);
+        ss.flush();
+        assert_eq!(ss.processed(), 0);
+        assert_eq!(ss.query(&1), 0);
+        assert_eq!(ss.monitored(), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_and_filtered() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..10 {
+            ss.add("big");
+        }
+        for _ in 0..3 {
+            ss.add("mid");
+        }
+        ss.add("small");
+        let hh = ss.heavy_hitters(3);
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0].key, "big");
+        assert_eq!(hh[1].key, "mid");
+    }
+
+    #[test]
+    fn with_epsilon_sizes_counters() {
+        let ss = SpaceSaving::<u32>::with_epsilon(0.01);
+        assert_eq!(ss.counters(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn with_bad_epsilon_panics() {
+        let _ = SpaceSaving::<u32>::with_epsilon(0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(4);
+        for _ in 0..5 {
+            a.add("x");
+        }
+        for _ in 0..7 {
+            b.add("x");
+        }
+        for _ in 0..2 {
+            b.add("y");
+        }
+        let merged = SpaceSaving::merge_snapshots(&[a.snapshot(), b.snapshot()], 4);
+        assert_eq!(merged.query(&"x"), 12);
+        assert_eq!(merged.query(&"y"), 2);
+    }
+}

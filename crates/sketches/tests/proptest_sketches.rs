@@ -1,0 +1,95 @@
+//! Property-based tests for the counting substrates.
+
+use std::collections::HashMap;
+
+use memento_sketches::{ExactWindow, OverflowQueue, SpaceSaving};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Space Saving never underestimates and overestimates by at most N/k.
+    #[test]
+    fn space_saving_error_bounds(
+        stream in prop::collection::vec(0u32..64, 1..2000),
+        counters in 4usize..64,
+    ) {
+        let mut ss = SpaceSaving::new(counters);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for &x in &stream {
+            ss.add(x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        let n = stream.len() as u64;
+        for (key, &real) in &truth {
+            let est = ss.query(key);
+            prop_assert!(est >= real, "underestimate for {key}: {est} < {real}");
+            prop_assert!(est - real <= n / counters as u64 + 1,
+                "overestimate too large for {key}: est={est} real={real}");
+            prop_assert!(ss.query_lower(key) <= real);
+        }
+    }
+
+    /// The estimated total mass of all counters never exceeds the stream length.
+    #[test]
+    fn space_saving_mass_conservation(
+        stream in prop::collection::vec(0u32..32, 1..1000),
+        counters in 2usize..32,
+    ) {
+        let mut ss = SpaceSaving::new(counters);
+        for &x in &stream {
+            ss.add(x);
+        }
+        let mass: u64 = ss.snapshot().iter().map(|c| c.count).sum();
+        // Every increment adds exactly one to exactly one counter, so the sum
+        // of counters equals the number of processed items... except counters
+        // inherit mass on eviction; the invariant that always holds is that the
+        // *minimum* counter is at most N/k and the total of (count - error)
+        // is at most N.
+        let lower_mass: u64 = ss.snapshot().iter().map(|c| c.count - c.error).sum();
+        prop_assert!(lower_mass <= stream.len() as u64);
+        prop_assert!(mass >= lower_mass);
+        prop_assert!(ss.min_count() <= stream.len() as u64 / counters as u64 + 1);
+    }
+
+    /// ExactWindow agrees with a naive re-count of the suffix.
+    #[test]
+    fn exact_window_matches_naive(
+        stream in prop::collection::vec(0u32..16, 1..500),
+        window in 1usize..64,
+    ) {
+        let mut w = ExactWindow::new(window);
+        for &x in &stream {
+            w.add(x);
+        }
+        let start = stream.len().saturating_sub(window);
+        let mut naive: HashMap<u32, u64> = HashMap::new();
+        for &x in &stream[start..] {
+            *naive.entry(x).or_insert(0) += 1;
+        }
+        for key in 0u32..16 {
+            prop_assert_eq!(w.query(&key), naive.get(&key).copied().unwrap_or(0));
+        }
+        prop_assert_eq!(w.occupancy(), stream.len().min(window));
+    }
+
+    /// The overflow queue releases exactly what was pushed, in FIFO order per
+    /// block, and never loses items when rotation returns the undrained rest.
+    #[test]
+    fn overflow_queue_conserves_items(
+        ops in prop::collection::vec((0u8..3, 0u32..100), 1..500),
+        blocks in 1usize..8,
+    ) {
+        let mut q = OverflowQueue::new(blocks);
+        let mut pushed = 0usize;
+        let mut released = 0usize;
+        for &(op, val) in &ops {
+            match op {
+                0 => { q.push_current(val); pushed += 1; }
+                1 => { if q.pop_oldest().is_some() { released += 1; } }
+                _ => { released += q.rotate().len(); }
+            }
+        }
+        prop_assert_eq!(pushed, released + q.pending());
+    }
+}

@@ -1,0 +1,101 @@
+//! The "new heavy hitter appears mid-measurement" scenario of §3 / Figure 1b.
+//!
+//! A new flow appears at a configurable point in the stream and from then on
+//! consumes, at a constant rate, a given fraction of the traffic. The figure
+//! sweeps that fraction (expressed as a multiple of the detection threshold
+//! θ) and measures how long each measurement discipline takes to report the
+//! flow as a heavy hitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::Packet;
+
+/// Iterator producing the emerging-heavy-hitter workload.
+#[derive(Debug, Clone)]
+pub struct EmergingFlowScenario<I> {
+    base: I,
+    /// The new flow's packet.
+    new_flow: Packet,
+    /// Fraction of post-appearance traffic belonging to the new flow.
+    fraction: f64,
+    /// Packet index at which the new flow appears.
+    start: usize,
+    emitted: usize,
+    rng: StdRng,
+}
+
+impl<I: Iterator<Item = Packet>> EmergingFlowScenario<I> {
+    /// Creates the scenario.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `(0, 1)`.
+    pub fn new(base: I, new_flow: Packet, fraction: f64, start: usize, seed: u64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1), got {fraction}"
+        );
+        EmergingFlowScenario {
+            base,
+            new_flow,
+            fraction,
+            start,
+            emitted: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The new flow whose detection time is being measured.
+    pub fn new_flow(&self) -> Packet {
+        self.new_flow
+    }
+
+    /// Packet index at which the new flow appears.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Post-appearance traffic fraction of the new flow.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl<I: Iterator<Item = Packet>> Iterator for EmergingFlowScenario<I> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        let out = if self.emitted >= self.start && self.rng.gen::<f64>() < self.fraction {
+            self.new_flow
+        } else {
+            self.base.next()?
+        };
+        self.emitted += 1;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{TraceGenerator, TracePreset};
+
+    #[test]
+    fn new_flow_absent_before_start_present_after() {
+        let base = TraceGenerator::new(TracePreset::tiny(), 5);
+        let new_flow = Packet::from_octets([222, 222, 222, 222], [1, 1, 1, 1]);
+        let mut s = EmergingFlowScenario::new(base, new_flow, 0.3, 500, 5);
+        let pre: Vec<Packet> = (&mut s).take(500).collect();
+        assert!(pre.iter().all(|p| *p != new_flow));
+        let post: Vec<Packet> = (&mut s).take(10_000).collect();
+        let share = post.iter().filter(|p| **p == new_flow).count() as f64 / post.len() as f64;
+        assert!((share - 0.3).abs() < 0.03, "share = {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let base = TraceGenerator::new(TracePreset::tiny(), 5);
+        let _ = EmergingFlowScenario::new(base, Packet::new(1, 1), 1.5, 0, 0);
+    }
+}

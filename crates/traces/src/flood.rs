@@ -1,0 +1,215 @@
+//! The HTTP-flood attack scenario of §6.4.
+//!
+//! The paper builds its flood trace as follows: pick 50 random 8-bit subnets;
+//! pick a random start line; up to that line the base trace is unmodified;
+//! from that line on, each emitted line is — with probability 0.7 — a flood
+//! request from a uniformly chosen attacking subnet, and with probability 0.3
+//! the next line of the original trace. The attacking subnets therefore carry
+//! ~70% of the traffic once the flood begins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memento_hierarchy::Prefix1D;
+
+use crate::packet::Packet;
+
+/// One packet of the flood trace, labeled with ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// True when the packet belongs to the injected flood.
+    pub is_attack: bool,
+    /// Index of the attacking subnet (0..num_subnets) for attack packets.
+    pub subnet: Option<usize>,
+}
+
+/// Configuration of the flood scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodConfig {
+    /// Number of attacking 8-bit subnets (the paper uses 50).
+    pub num_subnets: usize,
+    /// Probability that a post-start line is a flood line (the paper uses 0.7).
+    pub flood_probability: f64,
+    /// Line at which the flood begins.
+    pub start: usize,
+}
+
+impl Default for FloodConfig {
+    fn default() -> Self {
+        FloodConfig {
+            num_subnets: 50,
+            flood_probability: 0.7,
+            start: 0,
+        }
+    }
+}
+
+/// Iterator adapter that injects an HTTP flood into a base trace.
+#[derive(Debug, Clone)]
+pub struct FloodScenario<I> {
+    base: I,
+    config: FloodConfig,
+    subnets: Vec<u8>,
+    victims: Vec<u32>,
+    rng: StdRng,
+    emitted: usize,
+}
+
+impl<I: Iterator<Item = Packet>> FloodScenario<I> {
+    /// Creates a flood scenario over a base trace.
+    ///
+    /// # Panics
+    /// Panics if `num_subnets` is 0 or larger than 256, or if
+    /// `flood_probability` is not in `(0, 1)`.
+    pub fn new(base: I, config: FloodConfig, seed: u64) -> Self {
+        assert!(
+            config.num_subnets > 0 && config.num_subnets <= 256,
+            "num_subnets must be in 1..=256"
+        );
+        assert!(
+            config.flood_probability > 0.0 && config.flood_probability < 1.0,
+            "flood probability must be in (0,1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Choose distinct random 8-bit subnets.
+        let mut subnets = Vec::with_capacity(config.num_subnets);
+        let mut used = [false; 256];
+        while subnets.len() < config.num_subnets {
+            let s: u8 = rng.gen();
+            if !used[s as usize] {
+                used[s as usize] = true;
+                subnets.push(s);
+            }
+        }
+        // A handful of victim (destination) addresses, as a flood targets a
+        // small set of service endpoints behind the load balancers.
+        let victims: Vec<u32> = (0..4).map(|_| rng.gen()).collect();
+        FloodScenario {
+            base,
+            config,
+            subnets,
+            victims,
+            rng,
+            emitted: 0,
+        }
+    }
+
+    /// The attacking subnets as `/8` prefixes (ground truth for detection).
+    pub fn attack_prefixes(&self) -> Vec<Prefix1D> {
+        self.subnets
+            .iter()
+            .map(|&s| Prefix1D::new((s as u32) << 24, 8))
+            .collect()
+    }
+
+    /// The configured scenario parameters.
+    pub fn config(&self) -> &FloodConfig {
+        &self.config
+    }
+
+    fn flood_packet(&mut self) -> (Packet, usize) {
+        let idx = self.rng.gen_range(0..self.subnets.len());
+        let subnet = self.subnets[idx];
+        // A flood source inside the subnet; low-order bits vary so the attack
+        // is spread over many hosts (per-flow detection would miss it).
+        let host: u32 = self.rng.gen_range(0..1 << 24);
+        let src = ((subnet as u32) << 24) | host;
+        let dst = self.victims[self.rng.gen_range(0..self.victims.len())];
+        (Packet::new(src, dst), idx)
+    }
+}
+
+impl<I: Iterator<Item = Packet>> Iterator for FloodScenario<I> {
+    type Item = FloodPacket;
+
+    fn next(&mut self) -> Option<FloodPacket> {
+        let out = if self.emitted >= self.config.start
+            && self.rng.gen::<f64>() < self.config.flood_probability
+        {
+            let (packet, subnet) = self.flood_packet();
+            FloodPacket {
+                packet,
+                is_attack: true,
+                subnet: Some(subnet),
+            }
+        } else {
+            let packet = self.base.next()?;
+            FloodPacket {
+                packet,
+                is_attack: false,
+                subnet: None,
+            }
+        };
+        self.emitted += 1;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{TraceGenerator, TracePreset};
+
+    fn scenario(start: usize, seed: u64) -> FloodScenario<TraceGenerator> {
+        let base = TraceGenerator::new(TracePreset::tiny(), seed);
+        FloodScenario::new(
+            base,
+            FloodConfig {
+                num_subnets: 50,
+                flood_probability: 0.7,
+                start,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn flood_starts_at_the_configured_line() {
+        let mut s = scenario(1000, 3);
+        let pre: Vec<FloodPacket> = (&mut s).take(1000).collect();
+        assert!(pre.iter().all(|p| !p.is_attack));
+        let post: Vec<FloodPacket> = (&mut s).take(5000).collect();
+        let attacks = post.iter().filter(|p| p.is_attack).count();
+        let frac = attacks as f64 / post.len() as f64;
+        assert!((frac - 0.7).abs() < 0.05, "attack fraction = {frac}");
+    }
+
+    #[test]
+    fn attack_packets_come_from_attack_prefixes() {
+        let mut s = scenario(0, 9);
+        let prefixes = s.attack_prefixes();
+        assert_eq!(prefixes.len(), 50);
+        for p in (&mut s).take(3000) {
+            if p.is_attack {
+                let subnet = p.subnet.expect("attack packets carry a subnet index");
+                assert!(prefixes[subnet].contains_addr(p.packet.src));
+                assert!(prefixes.iter().any(|pre| pre.contains_addr(p.packet.src)));
+            }
+        }
+    }
+
+    #[test]
+    fn attack_subnets_are_distinct() {
+        let s = scenario(0, 11);
+        let prefixes = s.attack_prefixes();
+        let set: std::collections::HashSet<_> = prefixes.iter().collect();
+        assert_eq!(set.len(), prefixes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "num_subnets")]
+    fn too_many_subnets_panics() {
+        let base = TraceGenerator::new(TracePreset::tiny(), 0);
+        let _ = FloodScenario::new(
+            base,
+            FloodConfig {
+                num_subnets: 300,
+                flood_probability: 0.7,
+                start: 0,
+            },
+            0,
+        );
+    }
+}

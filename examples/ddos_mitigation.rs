@@ -1,0 +1,80 @@
+//! Network-wide HTTP-flood detection and mitigation (the paper's §6.4
+//! application).
+//!
+//! Ten simulated load balancers report to a centralized controller under a
+//! 1-byte-per-packet budget; an HTTP flood from 50 random 8-bit subnets is
+//! injected at 70% of the traffic; detected subnets are blocked via the
+//! proxies' ACLs. The example prints the detection timeline and the fraction
+//! of flood requests that reached the backends for the Batch, Sample and
+//! Aggregation communication methods.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ddos_mitigation
+//! ```
+
+use memento::lb::{FloodExperiment, FloodExperimentConfig};
+use memento::lb::scenario::FloodConfig;
+use memento::{CommMethod, TracePreset};
+
+fn main() {
+    let window = 100_000;
+    let base = FloodExperimentConfig {
+        proxies: 10,
+        backends_per_proxy: 4,
+        window,
+        budget: 1.0,
+        counters: 4_096,
+        method: CommMethod::Batch(44),
+        theta: 0.01,
+        total_packets: 4 * window,
+        flood: FloodConfig {
+            num_subnets: 50,
+            flood_probability: 0.7,
+            start: window,
+        },
+        preset: TracePreset::backbone(),
+        check_interval: 2_000,
+        mitigate: true,
+        seed: 2018,
+    };
+
+    println!(
+        "HTTP flood: 50 subnets at 70% of traffic from packet {}, window {window}, budget 1 B/pkt\n",
+        base.flood.start
+    );
+
+    for method in [CommMethod::Batch(44), CommMethod::Sample, CommMethod::Aggregation] {
+        let mut cfg = base.clone();
+        cfg.method = method;
+        let result = FloodExperiment::new(cfg).run();
+        println!("--- {} ---", result.method);
+        println!(
+            "  detected {}/{} attacking subnets",
+            result.detected_subnets(),
+            result.attack_prefixes.len()
+        );
+        println!(
+            "  flood requests reaching backends: {} of {} ({:.2}%)",
+            result.missed_attack_requests,
+            result.total_attack_requests,
+            100.0 * result.miss_rate()
+        );
+        println!(
+            "  mean detection delay vs OPT: {:.0} packets",
+            result.mean_delay_vs_opt()
+        );
+        println!("  control bandwidth used: {:.3} bytes/packet", result.bytes_per_packet);
+        print!("  detection timeline (packets -> detected subnets): ");
+        for (i, detected) in result
+            .detection_curve
+            .iter()
+            .filter(|(i, _)| i % (base.window / 2) < base.check_interval)
+        {
+            print!("{i}:{detected} ");
+        }
+        println!("\n");
+    }
+
+    println!("Batch achieves near-optimal detection; Aggregation's large, infrequent snapshots miss most of the flood.");
+}

@@ -1,0 +1,67 @@
+//! Hierarchical heavy-hitter monitoring with H-Memento.
+//!
+//! Watches a synthetic edge-router trace and periodically prints the subnets
+//! (1D source hierarchy) and source/destination prefix pairs (2D hierarchy)
+//! that exceed a threshold of the sliding window, comparing the 1D output
+//! against an exact oracle.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example hhh_monitor
+//! ```
+
+use memento::{ExactWindowHhh, HMemento, SrcDstHierarchy, SrcHierarchy, TraceGenerator, TracePreset};
+
+fn main() {
+    let window = 50_000;
+    let theta = 0.05;
+    // tau >= H * 2^-10, the accuracy floor the paper's evaluation uses.
+    let tau_1d = (5.0f64 * 2f64.powi(-6)).min(1.0);
+    let tau_2d = (25.0f64 * 2f64.powi(-6)).min(1.0);
+
+    let mut hhh_1d = HMemento::new(SrcHierarchy, 512 * 5, window, tau_1d, 0.01, 3);
+    let mut hhh_2d = HMemento::new(SrcDstHierarchy, 512 * 25, window, tau_2d, 0.01, 3);
+    let mut oracle = ExactWindowHhh::new(SrcHierarchy, window);
+
+    let mut trace = TraceGenerator::new(TracePreset::edge(), 11);
+    let total = 200_000;
+    let report_every = 50_000;
+
+    println!("monitoring {total} packets, window {window}, theta {theta}");
+    for i in 1..=total {
+        let pkt = trace.next_packet();
+        hhh_1d.update(pkt.src);
+        hhh_2d.update(pkt.src_dst());
+        oracle.update(pkt.src);
+
+        if i % report_every == 0 {
+            println!("\n=== after {i} packets ===");
+            let approx = hhh_1d.output(theta);
+            let exact = oracle.output(theta);
+            println!("source-hierarchy HHH (H-Memento, tau={tau_1d:.3}):");
+            for p in &approx {
+                let marker = if exact.contains(p) { ' ' } else { '*' };
+                println!("  {marker} {p}  ~{:.0} packets", hhh_1d.estimate(p));
+            }
+            println!("  ({} exact HHHs, * marks prefixes only the approximation reports)", exact.len());
+            let missed: Vec<_> = exact.iter().filter(|p| !approx.contains(p)).collect();
+            if missed.is_empty() {
+                println!("  no exact HHH was missed");
+            } else {
+                println!("  MISSED: {missed:?}");
+            }
+
+            let approx2 = hhh_2d.output(theta);
+            println!("source x destination HHH (top {} pairs):", approx2.len().min(5));
+            for p in approx2.iter().take(5) {
+                println!("    {p}  ~{:.0} packets", hhh_2d.estimate(p));
+            }
+        }
+    }
+
+    println!(
+        "\n1D H-Memento did {} Full updates for {} packets (constant-time updates regardless of H)",
+        hhh_1d.full_updates(),
+        hhh_1d.processed()
+    );
+}

@@ -1,0 +1,86 @@
+//! Network-wide accuracy under a bandwidth budget (the setting of Figure 9).
+//!
+//! Spreads a datacenter-like trace over ten measurement points and compares
+//! the controller's per-subnet estimates against the exact network-wide
+//! sliding window for the three communication methods, all under the same
+//! 1-byte-per-packet budget. Also prints the analytically optimal batch size
+//! from the paper's §5.2 model.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example netwide_accuracy
+//! ```
+
+use memento::analysis::NetworkBudget;
+use memento::hierarchy::Prefix1D;
+use memento::netwide::{NetworkSimulator, SimConfig, SimMetrics, WireFormat};
+use memento::{CommMethod, SrcHierarchy, TraceGenerator, TracePreset};
+
+fn main() {
+    let window = 100_000;
+    let budget = 1.0;
+
+    // What batch size does the paper's analysis recommend for this setting?
+    let model = NetworkBudget {
+        header_overhead: 64.0,
+        sample_bytes: 4.0,
+        points: 10,
+        hierarchy: 5,
+        window,
+        delta: 0.0001,
+        budget,
+    };
+    let (optimal_b, bound) = model.optimal_batch(1_000);
+    println!(
+        "analysis: optimal batch size b* = {optimal_b}, guaranteed error <= {:.0} packets ({:.2}% of the window)\n",
+        bound,
+        100.0 * bound / window as f64
+    );
+
+    let methods = [
+        CommMethod::Aggregation,
+        CommMethod::Sample,
+        CommMethod::Batch(100),
+        CommMethod::Batch(optimal_b),
+    ];
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>12} {:>10}",
+        "method", "RMSE (/8 est.)", "MAE", "reports", "bytes/pkt"
+    );
+    for method in methods {
+        let config = SimConfig {
+            points: 10,
+            window,
+            budget,
+            counters: 4_096,
+            method,
+            delta: 0.01,
+            seed: 9,
+        };
+        let mut sim = NetworkSimulator::new(SrcHierarchy, config, WireFormat::tcp_src());
+        let mut trace = TraceGenerator::new(TracePreset::datacenter(), 5);
+        let mut metrics = SimMetrics::new();
+        let total = 3 * window;
+        for i in 0..total {
+            let pkt = trace.next_packet();
+            sim.process(pkt.src);
+            // On-arrival error of the packet's /8 estimate, after warm-up.
+            if i > window && i % 50 == 0 {
+                let p = Prefix1D::new(pkt.src, 8);
+                metrics.record(sim.estimate(&p), sim.exact(&p) as f64);
+            }
+        }
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>12} {:>10.3}",
+            method.name(),
+            metrics.rmse(),
+            metrics.mae(),
+            sim.reports(),
+            sim.bytes_per_packet()
+        );
+    }
+
+    println!("\nBatch (especially at the analytic b*) delivers the best accuracy for the same budget;");
+    println!("Sample wastes most of its budget on headers; Aggregation reports too rarely.");
+}

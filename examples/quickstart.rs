@@ -1,0 +1,65 @@
+//! Quickstart: sliding-window heavy hitters with Memento.
+//!
+//! Generates a skewed synthetic trace, feeds it to Memento (sampled), to WCSS
+//! (the unsampled reference) and to an exact sliding-window counter, then
+//! compares the three on the top flows.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use memento::sketches::ExactWindow;
+use memento::{Memento, TraceGenerator, TracePreset, Wcss};
+
+fn main() {
+    // Window of 100k packets, 512 counters, one Full update every 32 packets.
+    let window = 100_000;
+    let counters = 512;
+    let tau = 1.0 / 32.0;
+
+    let mut memento = Memento::new(counters, window, tau, 42);
+    let mut wcss = Wcss::new(counters, window);
+    let mut exact = ExactWindow::new(window);
+
+    // A backbone-like synthetic trace (stands in for the paper's CAIDA trace).
+    let mut trace = TraceGenerator::new(TracePreset::backbone(), 7);
+    let packets = 400_000;
+    println!("processing {packets} packets (window = {window}, tau = {tau:.4})...");
+    for _ in 0..packets {
+        let pkt = trace.next_packet();
+        let flow = pkt.flow();
+        memento.update(flow);
+        wcss.update(flow);
+        exact.add(flow);
+    }
+
+    // Compare the three on the true top-10 flows of the current window.
+    let mut top = exact.heavy_hitters(0);
+    top.truncate(10);
+    println!("\n{:>20} {:>12} {:>12} {:>12}", "flow", "exact", "wcss", "memento");
+    for (flow, real) in &top {
+        println!(
+            "{:>20x} {:>12} {:>12.0} {:>12.0}",
+            flow,
+            real,
+            wcss.estimate(flow),
+            memento.estimate(flow)
+        );
+    }
+
+    // Report the heavy hitters above 1% of the window.
+    let threshold = 0.01 * window as f64;
+    let hh = memento.heavy_hitters(threshold);
+    println!("\nflows above 1% of the window according to Memento: {}", hh.len());
+    for (flow, est) in hh.iter().take(5) {
+        println!("  flow {flow:x}: ~{est:.0} packets (exact {})", exact.query(flow));
+    }
+
+    println!(
+        "\nMemento performed {} Full updates out of {} packets ({:.2}% of the work of WCSS)",
+        memento.full_updates(),
+        memento.processed(),
+        100.0 * memento.full_updates() as f64 / memento.processed() as f64
+    );
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the network-wide pipeline
+//! (traces → measurement points → controller) and the flood scenario.
+
+use memento::hierarchy::Prefix1D;
+use memento::lb::scenario::FloodConfig;
+use memento::lb::{FloodExperiment, FloodExperimentConfig};
+use memento::netwide::{NetworkSimulator, SimConfig, SimMetrics, WireFormat};
+use memento::{CommMethod, SrcHierarchy, TraceGenerator, TracePreset};
+
+fn run_sim(method: CommMethod, budget: f64, packets: usize) -> (NetworkSimulator<SrcHierarchy>, SimMetrics) {
+    let config = SimConfig {
+        points: 10,
+        window: 20_000,
+        budget,
+        counters: 2_048,
+        method,
+        delta: 0.01,
+        seed: 77,
+    };
+    let mut sim = NetworkSimulator::new(SrcHierarchy, config, WireFormat::tcp_src());
+    let mut trace = TraceGenerator::new(TracePreset::datacenter(), 8);
+    let mut metrics = SimMetrics::new();
+    for i in 0..packets {
+        let pkt = trace.next_packet();
+        sim.process(pkt.src);
+        if i > packets / 2 && i % 64 == 0 {
+            let p = Prefix1D::new(pkt.src, 8);
+            metrics.record(sim.estimate(&p), sim.exact(&p) as f64);
+        }
+    }
+    (sim, metrics)
+}
+
+/// All three communication methods must respect the bandwidth budget and
+/// produce estimates in the right ballpark; Batch must not be (meaningfully)
+/// worse than Sample.
+#[test]
+fn netwide_methods_respect_budget_and_track_truth() {
+    let mut rmse = std::collections::HashMap::new();
+    for method in [CommMethod::Aggregation, CommMethod::Sample, CommMethod::Batch(44)] {
+        let (sim, metrics) = run_sim(method, 1.0, 60_000);
+        assert!(
+            sim.bytes_per_packet() <= 1.1,
+            "{} exceeded the budget: {}",
+            method.name(),
+            sim.bytes_per_packet()
+        );
+        assert!(sim.reports() > 0, "{} never reported", method.name());
+        rmse.insert(method.name(), metrics.rmse());
+    }
+    let batch = rmse["batch-44"];
+    let sample = rmse["sample"];
+    assert!(
+        batch <= sample * 1.5,
+        "batch RMSE {batch} should not be substantially worse than sample {sample}"
+    );
+}
+
+/// A larger budget must not hurt accuracy (sanity of the τ = B·b/(O+E·b)
+/// scheduling).
+#[test]
+fn accuracy_improves_with_budget() {
+    let (_, low) = run_sim(CommMethod::Batch(44), 0.5, 60_000);
+    let (_, high) = run_sim(CommMethod::Batch(44), 8.0, 60_000);
+    assert!(
+        high.rmse() <= low.rmse() * 1.2,
+        "8 B/pkt budget (rmse {}) should not be worse than 0.5 B/pkt (rmse {})",
+        high.rmse(),
+        low.rmse()
+    );
+}
+
+/// End-to-end flood scenario: detection + mitigation with the Batch method
+/// finds the attacking subnets and stops most of the flood, and beats the
+/// idealized Aggregation baseline — the paper's headline network-wide result.
+#[test]
+fn flood_mitigation_end_to_end() {
+    let base = FloodExperimentConfig {
+        proxies: 5,
+        backends_per_proxy: 2,
+        window: 30_000,
+        budget: 4.0,
+        counters: 2_048,
+        method: CommMethod::Batch(44),
+        theta: 0.02,
+        total_packets: 90_000,
+        flood: FloodConfig {
+            num_subnets: 25,
+            flood_probability: 0.7,
+            start: 15_000,
+        },
+        preset: TracePreset::backbone(),
+        check_interval: 1_000,
+        mitigate: true,
+        seed: 99,
+    };
+
+    let batch = FloodExperiment::new(base.clone()).run();
+    assert!(
+        batch.detected_subnets() >= 20,
+        "batch detected only {}/25 subnets",
+        batch.detected_subnets()
+    );
+    assert!(batch.miss_rate() < 0.6, "miss rate {}", batch.miss_rate());
+
+    let mut agg_cfg = base;
+    agg_cfg.method = CommMethod::Aggregation;
+    let agg = FloodExperiment::new(agg_cfg).run();
+    assert!(
+        batch.missed_attack_requests <= agg.missed_attack_requests,
+        "batch missed {} flood requests, aggregation {}",
+        batch.missed_attack_requests,
+        agg.missed_attack_requests
+    );
+}

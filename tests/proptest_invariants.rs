@@ -1,0 +1,140 @@
+//! Cross-crate property-based tests on the paper's core invariants.
+
+use std::collections::HashMap;
+
+use memento::hierarchy::{exact_hhh, Hierarchy};
+use memento::sketches::ExactWindow;
+use memento::{HMemento, Memento, SrcHierarchy, Wcss};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// WCSS (τ = 1): the estimate never undershoots the exact window count
+    /// and overshoots by at most 4W/k, for arbitrary streams and windows.
+    #[test]
+    fn wcss_error_bound_holds(
+        stream in prop::collection::vec(0u64..40, 200..3000),
+        window in 64usize..512,
+        counters in 16usize..128,
+    ) {
+        let mut wcss = Wcss::new(counters, window);
+        let mut exact = ExactWindow::new(window);
+        for &x in &stream {
+            wcss.update(x);
+            exact.add(x);
+        }
+        let bound = 4.0 * window as f64 / counters as f64;
+        for flow in 0u64..40 {
+            let est = wcss.estimate(&flow);
+            let real = exact.query(&flow) as f64;
+            prop_assert!(est + 1e-9 >= real, "undershoot: flow {} est {} real {}", flow, est, real);
+            prop_assert!(est - real <= bound + 1.0,
+                "overshoot beyond bound: flow {} est {} real {} bound {}", flow, est, real, bound);
+        }
+    }
+
+    /// Memento's bounds are consistent for any τ: lower ≤ upper, and the
+    /// upper bound never falls below the exact count (one-sided error).
+    #[test]
+    fn memento_bounds_are_ordered_and_one_sided(
+        stream in prop::collection::vec(0u64..20, 200..2000),
+        window in 64usize..256,
+        tau_inv in 1u32..8,
+    ) {
+        let tau = 1.0 / tau_inv as f64;
+        let mut memento = Memento::new(32, window, tau, 7);
+        let mut exact = ExactWindow::new(window);
+        for &x in &stream {
+            memento.update(x);
+            exact.add(x);
+        }
+        for flow in 0u64..20 {
+            let lo = memento.lower_bound(&flow);
+            let hi = memento.upper_bound(&flow);
+            prop_assert!(lo <= hi + 1e-9, "bounds inverted for {}", flow);
+            if tau_inv == 1 {
+                prop_assert!(hi + 1e-9 >= exact.query(&flow) as f64,
+                    "tau=1 upper bound below exact for {}", flow);
+            }
+        }
+    }
+
+    /// H-Memento's coverage property (Definition 4.2): for every prefix left
+    /// out of the output set P, its *true* conditioned frequency with respect
+    /// to P stays below the threshold — up to the sampling slack the
+    /// algorithm itself budgets for (the guarantee is probabilistic with
+    /// confidence 1−δ; the extra slack makes the check deterministic in
+    /// practice).
+    #[test]
+    fn h_memento_coverage_property(
+        raw in prop::collection::vec((0u8..4, 0u8..4, 0u8..8), 400..1500),
+        theta_pct in 10u32..30,
+    ) {
+        use memento::hierarchy::{conditioned_frequency_exact, prefix_frequencies};
+        let hier = SrcHierarchy;
+        let items: Vec<u32> = raw
+            .iter()
+            .map(|&(b, c, d)| u32::from_be_bytes([10, b * 16, c, d]))
+            .collect();
+        let window = items.len();
+        let theta = theta_pct as f64 / 100.0;
+        let mut hm = HMemento::new(hier, 4 * window.max(64), window, 1.0, 0.01, 3);
+        for &it in &items {
+            hm.update(it);
+        }
+        let output = hm.output(theta);
+        let threshold = theta * window as f64;
+        let allowance = threshold + 2.0 * hm.sampling_slack();
+        for q in prefix_frequencies(&hier, items.iter().copied()).keys() {
+            if !output.contains(q) {
+                let c = conditioned_frequency_exact(&hier, &items, q, &output) as f64;
+                prop_assert!(
+                    c < allowance,
+                    "coverage violated: {:?} has conditioned frequency {} vs threshold {} (+slack {})",
+                    q, c, threshold, allowance - threshold
+                );
+            }
+        }
+        // And the output is never empty when a single source dominates.
+        let exact = exact_hhh(&hier, &items, threshold);
+        if !exact.is_empty() {
+            prop_assert!(!output.is_empty(), "exact HHHs exist but output is empty");
+        }
+    }
+
+    /// The HHH set never contains two prefixes where the deeper one fully
+    /// explains the shallower one's conditioned frequency (structural sanity
+    /// of the conditioned-frequency computation on exact oracles).
+    #[test]
+    fn exact_hhh_set_is_minimal_per_level(
+        raw in prop::collection::vec((0u8..3, 0u8..3), 200..800),
+        theta_pct in 15u32..40,
+    ) {
+        let hier = SrcHierarchy;
+        let items: Vec<u32> = raw
+            .iter()
+            .map(|&(b, d)| u32::from_be_bytes([20, b, 0, d]))
+            .collect();
+        let theta = theta_pct as f64 / 100.0;
+        let threshold = theta * items.len() as f64;
+        let hhh = exact_hhh(&hier, &items, threshold);
+        // Exact per-prefix frequencies.
+        let mut freq: HashMap<_, u64> = HashMap::new();
+        for &it in &items {
+            for i in 0..hier.h() {
+                *freq.entry(hier.prefix_at(it, i)).or_insert(0) += 1;
+            }
+        }
+        for p in &hhh {
+            // Every reported prefix carries at least the threshold worth of
+            // traffic in total (its conditioned frequency is a lower bound of
+            // its plain frequency).
+            prop_assert!(
+                freq[p] as f64 >= threshold,
+                "reported prefix {:?} has total frequency {} below threshold {}",
+                p, freq[p], threshold
+            );
+        }
+    }
+}

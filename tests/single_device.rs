@@ -1,0 +1,226 @@
+//! Cross-crate integration tests: single-device pipeline
+//! (traces → Memento/WCSS/H-Memento → oracles).
+
+use std::collections::HashMap;
+
+use memento::baselines::{Mst, Rhhh, WindowMst};
+use memento::sketches::ExactWindow;
+use memento::{
+    ExactWindowHhh, HMemento, Hierarchy, Memento, Prefix1D, SrcHierarchy, TraceGenerator,
+    TracePreset, Wcss,
+};
+
+/// Memento (sampled) and WCSS (τ=1) must both track the exact sliding window
+/// on a realistic synthetic trace, with WCSS strictly honouring its ε·W
+/// bound and Memento staying close.
+#[test]
+fn memento_and_wcss_track_exact_window_on_synthetic_trace() {
+    let window = 30_000;
+    let counters = 512;
+    let mut trace = TraceGenerator::new(TracePreset::datacenter(), 21);
+    let mut memento = Memento::new(counters, window, 1.0 / 16.0, 2);
+    let mut wcss = Wcss::new(counters, window);
+    let mut exact = ExactWindow::new(window);
+
+    for _ in 0..3 * window {
+        let pkt = trace.next_packet();
+        let flow = pkt.flow();
+        memento.update(flow);
+        wcss.update(flow);
+        exact.add(flow);
+    }
+
+    let bound = 4.0 * window as f64 / counters as f64;
+    let mut checked = 0;
+    for (flow, real) in exact.heavy_hitters((0.002 * window as f64) as u64) {
+        let w = wcss.estimate(&flow);
+        assert!(w + 1e-9 >= real as f64, "WCSS undershoots flow {flow:x}");
+        assert!(
+            w - real as f64 <= bound,
+            "WCSS error too large for {flow:x}: est {w}, real {real}"
+        );
+        let m = memento.estimate(&flow);
+        // Sampled estimates carry extra noise; they must stay in the right
+        // ballpark for flows above 0.2% of the window.
+        assert!(
+            (m - real as f64).abs() <= bound + 0.35 * real as f64 + 200.0,
+            "Memento too far off for {flow:x}: est {m}, real {real}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "trace produced too few heavy flows to check");
+}
+
+/// The heavy-hitter sets of Memento and the exact window must agree on
+/// clearly-heavy flows (no false negatives above threshold, no phantom flows
+/// far above it).
+#[test]
+fn heavy_hitter_sets_agree_with_ground_truth() {
+    let window = 20_000;
+    let mut trace = TraceGenerator::new(TracePreset::datacenter(), 4);
+    let mut memento = Memento::new(1024, window, 0.25, 3);
+    let mut exact = ExactWindow::new(window);
+    for _ in 0..2 * window {
+        let pkt = trace.next_packet();
+        memento.update(pkt.flow());
+        exact.add(pkt.flow());
+    }
+    let theta = 0.02;
+    let threshold = theta * window as f64;
+    let reported: HashMap<u64, f64> = memento.heavy_hitters(threshold).into_iter().collect();
+    // No false negatives: every exact HH above threshold is reported.
+    for (flow, real) in exact.heavy_hitters(threshold as u64) {
+        assert!(
+            reported.contains_key(&flow),
+            "flow {flow:x} with {real} window packets missing from Memento's HH set"
+        );
+    }
+    // No severe false positives: every reported flow has at least some
+    // presence in the exact window (estimates are upper bounds, so small
+    // flows may be slightly inflated but not conjured from nothing).
+    for flow in reported.keys() {
+        assert!(
+            exact.query(flow) as f64 >= threshold * 0.1,
+            "flow {flow:x} reported but nearly absent from the window"
+        );
+    }
+}
+
+/// Every HHH algorithm must satisfy the paper's *coverage* property against
+/// ground truth: any exact HHH it does not report must be explained by the
+/// set it does report (its residual conditioned frequency with respect to
+/// that set stays below the threshold, up to the algorithm's own sampling
+/// slack). The deterministic algorithms (Baseline, MST) get no slack.
+#[test]
+fn all_hhh_algorithms_find_the_heavy_subnets() {
+    use memento::hierarchy::conditioned_frequency_exact;
+    let window = 40_000;
+    let hier = SrcHierarchy;
+    let theta = 0.05;
+    let mut trace = TraceGenerator::new(TracePreset::datacenter(), 31);
+
+    let mut h_memento = HMemento::new(hier, 4_096, window, 0.5, 0.01, 5);
+    let mut baseline = WindowMst::new(hier, 1_024, window);
+    let mut mst = Mst::new(hier, 1_024);
+    let mut rhhh = Rhhh::new(hier, 1_024, 0.5, 0.01, 5);
+    let mut oracle = ExactWindowHhh::new(hier, window);
+
+    let mut items = Vec::with_capacity(window);
+    for _ in 0..window {
+        let src = trace.next_packet().src;
+        h_memento.update(src);
+        baseline.update(src);
+        mst.update(src);
+        rhhh.update(src);
+        oracle.update(src);
+        items.push(src);
+    }
+
+    let exact = oracle.output(theta);
+    assert!(!exact.is_empty(), "trace has no heavy subnets at theta={theta}");
+    let threshold = theta * window as f64;
+
+    let check = |name: &str, output: &[Prefix1D], slack: f64| {
+        assert!(!output.is_empty(), "{name} reported nothing");
+        for p in &exact {
+            if output.contains(p) {
+                continue;
+            }
+            let residual = conditioned_frequency_exact(&hier, &items, p, output) as f64;
+            assert!(
+                residual < threshold + slack,
+                "{name} missed exact HHH {p} whose residual w.r.t. its output is {residual} \
+                 (threshold {threshold}, slack {slack})"
+            );
+        }
+    };
+
+    check("H-Memento", &h_memento.output(theta), h_memento.sampling_slack());
+    check("Baseline", &baseline.output(theta), 0.0);
+    check("MST", &mst.output(theta), 0.0);
+    check("RHHH", &rhhh.output(theta), rhhh.sampling_slack());
+}
+
+/// The sliding window must actually slide: a subnet that dominated an old
+/// window disappears from the HHH set after enough new traffic, for both
+/// H-Memento and the Baseline, while the interval MST (never reset) keeps it.
+#[test]
+fn window_algorithms_forget_but_interval_algorithms_remember() {
+    let window = 10_000;
+    let hier = SrcHierarchy;
+    let heavy = Prefix1D::new(u32::from_be_bytes([200, 0, 0, 0]), 8);
+
+    let mut h_memento = HMemento::new(hier, 2_048, window, 1.0, 0.01, 9);
+    let mut baseline = WindowMst::new(hier, 512, window);
+    let mut mst = Mst::new(hier, 512);
+
+    // Phase 1: subnet 200/8 dominates.
+    for i in 0..window {
+        let src = u32::from_be_bytes([200, (i % 256) as u8, ((i / 256) % 256) as u8, 1]);
+        h_memento.update(src);
+        baseline.update(src);
+        mst.update(src);
+    }
+    assert!(h_memento.output(0.2).iter().any(|p| *p == heavy));
+    assert!(baseline.output(0.2).iter().any(|p| *p == heavy));
+
+    // Phase 2: three windows of completely different traffic.
+    let mut trace = TraceGenerator::new(TracePreset::tiny(), 13);
+    for _ in 0..3 * window {
+        let mut src = trace.next_packet().src;
+        if src >> 24 == 200 {
+            src ^= 0x0100_0000; // keep phase-2 traffic out of 200/8
+        }
+        h_memento.update(src);
+        baseline.update(src);
+        mst.update(src);
+    }
+    assert!(
+        !h_memento.output(0.2).iter().any(|p| *p == heavy),
+        "H-Memento failed to forget the stale subnet"
+    );
+    assert!(
+        !baseline.output(0.2).iter().any(|p| *p == heavy),
+        "Baseline failed to forget the stale subnet"
+    );
+    // The interval algorithm still sees 25% of its (never reset) interval in
+    // the old subnet, so with a threshold of 20% it keeps reporting it —
+    // exactly the staleness sliding windows avoid.
+    assert!(
+        mst.output(0.2).iter().any(|p| *p == heavy),
+        "interval MST should still report the stale subnet"
+    );
+}
+
+/// Degenerate inputs: single-flow traffic and all-distinct traffic.
+#[test]
+fn degenerate_traffic_patterns() {
+    let window = 5_000;
+    let mut memento = Memento::new(64, window, 0.5, 1);
+    for _ in 0..2 * window {
+        memento.update(42u64);
+    }
+    let est = memento.estimate(&42);
+    assert!(
+        (est - window as f64).abs() < 0.25 * window as f64,
+        "single-flow estimate {est} far from window size {window}"
+    );
+
+    let mut memento = Memento::new(64, window, 0.5, 1);
+    for i in 0..2 * window as u64 {
+        memento.update(i); // every packet a new flow
+    }
+    let hh = memento.heavy_hitters(0.1 * window as f64);
+    assert!(hh.is_empty(), "no flow should be heavy in all-distinct traffic");
+
+    let hier = SrcHierarchy;
+    let mut hm = HMemento::new(hier, 256, window, 1.0, 0.01, 2);
+    for i in 0..window as u32 {
+        hm.update(i.wrapping_mul(2_654_435_761)); // scattered sources
+    }
+    let hhh = hm.output(0.3);
+    // Only coarse prefixes can aggregate scattered traffic.
+    for p in &hhh {
+        assert!(hier.depth(p) >= 3, "unexpectedly specific HHH {p} for scattered traffic");
+    }
+}

@@ -8,7 +8,8 @@
 
 use std::hash::Hash;
 
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_core::traits::HhhAlgorithm;
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::ExactWindow;
 
 /// Exact sliding-window hierarchical frequency oracle.
@@ -66,6 +67,12 @@ where
         self.counts.query(prefix)
     }
 
+    /// Approximate heap footprint in bytes (linear in `W·H` — the cost the
+    /// approximate algorithms avoid).
+    pub fn space_bytes(&self) -> usize {
+        self.counts.space_bytes()
+    }
+
     /// All prefixes with non-zero window frequency.
     pub fn tracked_prefixes(&self) -> Vec<Hi::Prefix> {
         self.counts.iter().map(|(p, _)| *p).collect()
@@ -98,6 +105,36 @@ where
     }
 }
 
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for ExactWindowHhh<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "exact-window-hhh"
+    }
+
+    #[inline]
+    fn update(&mut self, item: Hi::Item) {
+        ExactWindowHhh::update(self, item);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.frequency(prefix) as f64
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        ExactWindowHhh::output(self, theta)
+    }
+
+    fn space_bytes(&self) -> usize {
+        ExactWindowHhh::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        ExactWindowHhh::processed(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +153,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut items = Vec::new();
         for _ in 0..2_000 {
-            let it = addr(rng.gen_range(0..5), rng.gen_range(0..3), 0, rng.gen_range(0..10));
+            let it = addr(
+                rng.gen_range(0..5),
+                rng.gen_range(0..3),
+                0,
+                rng.gen_range(0..10),
+            );
             oracle.update(it);
             items.push(it);
         }

@@ -10,7 +10,8 @@
 
 use std::hash::Hash;
 
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_core::traits::HhhAlgorithm;
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::SpaceSaving;
 
 /// The MST interval HHH algorithm.
@@ -96,6 +97,11 @@ where
         self.processed = 0;
     }
 
+    /// Approximate heap footprint in bytes: the `H` per-pattern summaries.
+    pub fn space_bytes(&self) -> usize {
+        self.instances.iter().map(SpaceSaving::space_bytes).sum()
+    }
+
     /// All prefixes currently monitored by any per-pattern instance.
     pub fn tracked_prefixes(&self) -> Vec<Hi::Prefix> {
         self.instances
@@ -131,10 +137,50 @@ where
     }
 }
 
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Mst<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "mst"
+    }
+
+    #[inline]
+    fn update(&mut self, item: Hi::Item) {
+        Mst::update(self, item);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        Mst::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        Mst::output(self, theta)
+    }
+
+    fn space_bytes(&self) -> usize {
+        Mst::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        Mst::processed(self)
+    }
+
+    fn is_interval(&self) -> bool {
+        true
+    }
+
+    fn reset_interval(&mut self) {
+        self.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memento_hierarchy::{exact_hhh, prefix_frequencies, Prefix1D, SrcDstHierarchy, SrcHierarchy};
+    use memento_hierarchy::{
+        exact_hhh, prefix_frequencies, Prefix1D, SrcDstHierarchy, SrcHierarchy,
+    };
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
@@ -147,7 +193,14 @@ mod tests {
         let mut mst = Mst::new(hier, 64);
         let mut rng = StdRng::seed_from_u64(1);
         let items: Vec<u32> = (0..20_000)
-            .map(|_| addr(rng.gen_range(0..20), rng.gen_range(0..4), 0, rng.gen_range(0..16)))
+            .map(|_| {
+                addr(
+                    rng.gen_range(0..20),
+                    rng.gen_range(0..4),
+                    0,
+                    rng.gen_range(0..16),
+                )
+            })
             .collect();
         for &it in &items {
             mst.update(it);

@@ -20,7 +20,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use memento_core::analysis::z_value;
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_core::traits::HhhAlgorithm;
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::{GeometricSampler, Sampler, SpaceSaving};
 
 /// The RHHH interval HHH algorithm.
@@ -130,6 +131,11 @@ where
         self.updates = 0;
     }
 
+    /// Approximate heap footprint in bytes: the `H` per-pattern summaries.
+    pub fn space_bytes(&self) -> usize {
+        self.instances.iter().map(SpaceSaving::space_bytes).sum()
+    }
+
     /// All prefixes currently monitored by any instance.
     pub fn tracked_prefixes(&self) -> Vec<Hi::Prefix> {
         self.instances
@@ -171,6 +177,44 @@ where
 
     fn lower_bound(&self, p: &Hi::Prefix) -> f64 {
         self.lower(p)
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Rhhh<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "rhhh"
+    }
+
+    #[inline]
+    fn update(&mut self, item: Hi::Item) {
+        Rhhh::update(self, item);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        Rhhh::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        Rhhh::output(self, theta)
+    }
+
+    fn space_bytes(&self) -> usize {
+        Rhhh::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        Rhhh::processed(self)
+    }
+
+    fn is_interval(&self) -> bool {
+        true
+    }
+
+    fn reset_interval(&mut self) {
+        self.reset();
     }
 }
 

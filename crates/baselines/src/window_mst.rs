@@ -9,8 +9,9 @@
 
 use std::hash::Hash;
 
+use memento_core::traits::HhhAlgorithm;
 use memento_core::Wcss;
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 
 /// Window-MST ("Baseline"): one WCSS instance per prefix pattern.
 #[derive(Debug, Clone)]
@@ -83,6 +84,20 @@ where
         self.instances[idx].lower_bound(prefix)
     }
 
+    /// Approximate heap footprint in bytes: the `H` per-pattern WCSS
+    /// summaries.
+    pub fn space_bytes(&self) -> usize {
+        self.instances
+            .iter()
+            .map(|inst| inst.as_memento().space_bytes())
+            .sum()
+    }
+
+    /// Total packets processed so far.
+    pub fn processed(&self) -> u64 {
+        self.instances.first().map_or(0, Wcss::processed)
+    }
+
     /// All prefixes currently tracked by any per-pattern instance.
     pub fn tracked_prefixes(&self) -> Vec<Hi::Prefix> {
         self.instances
@@ -117,6 +132,36 @@ where
     }
 }
 
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for WindowMst<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "window-mst"
+    }
+
+    #[inline]
+    fn update(&mut self, item: Hi::Item) {
+        WindowMst::update(self, item);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        WindowMst::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        WindowMst::output(self, theta)
+    }
+
+    fn space_bytes(&self) -> usize {
+        WindowMst::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        WindowMst::processed(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,7 +185,12 @@ mod tests {
         // Two windows of unrelated traffic.
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..2 * window {
-            baseline.update(addr(rng.gen_range(100..250), rng.gen(), rng.gen(), rng.gen()));
+            baseline.update(addr(
+                rng.gen_range(100..250),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+            ));
         }
         let leftover = baseline.estimate(&subnet);
         assert!(
@@ -163,7 +213,10 @@ mod tests {
             baseline.update(it);
         }
         let hhh = baseline.output(0.3);
-        assert!(hhh.contains(&Prefix1D::new(addr(77, 0, 0, 0), 8)), "{hhh:?}");
+        assert!(
+            hhh.contains(&Prefix1D::new(addr(77, 0, 0, 0), 8)),
+            "{hhh:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! The batched-update fast path: `Memento::update_batch` (geometric skip
+//! sampling of Full updates, §5's τ-sampling hot path) vs the per-packet
+//! `update` loop (one random-table coin flip per packet).
+//!
+//! The acceptance bar for the batched path is ≥ 1.5× the per-packet loop at
+//! τ = 1/64. Run with `cargo bench -p memento-bench --bench batch_speed`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use memento_bench::make_trace;
+use memento_core::traits::SlidingWindowEstimator;
+use memento_core::Memento;
+use memento_traces::TracePreset;
+
+fn bench_batch_speed(c: &mut Criterion) {
+    let packets = 200_000;
+    let trace = make_trace(&TracePreset::backbone(), packets, 4);
+    let flows: Vec<u64> = trace.iter().map(|p| p.flow()).collect();
+    let window = 100_000;
+    let counters = 512;
+
+    let mut group = c.benchmark_group("batch_update/backbone");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for i in [4i32, 6, 8] {
+        let tau = 2f64.powi(-i);
+        group.bench_function(BenchmarkId::new("per_packet", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut memento = Memento::new(counters, window, tau, 7);
+                for &flow in &flows {
+                    memento.update(flow);
+                }
+                memento.processed()
+            })
+        });
+        group.bench_function(BenchmarkId::new("batched", format!("tau_2^-{i}")), |b| {
+            b.iter(|| {
+                let mut memento = Memento::new(counters, window, tau, 7);
+                memento.update_batch(&flows);
+                memento.processed()
+            })
+        });
+        // The trait object path used by generic consumers: same batch fast
+        // path, one virtual call per batch instead of one per packet.
+        group.bench_function(
+            BenchmarkId::new("batched_dyn", format!("tau_2^-{i}")),
+            |b| {
+                b.iter(|| {
+                    let mut memento: Box<dyn SlidingWindowEstimator<u64>> =
+                        Box::new(Memento::new(counters, window, tau, 7));
+                    memento.update_batch(&flows);
+                    memento.space_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_speed);
+criterion_main!(benches);

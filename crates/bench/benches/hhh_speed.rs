@@ -31,15 +31,19 @@ fn bench_hhh_speed(c: &mut Criterion) {
     for i in [0i32, 4, 8] {
         // The paper keeps the effective per-prefix rate at >= 2^-10.
         let tau = (5.0 * 2f64.powi(-10)).max(2f64.powi(-i)).min(1.0);
-        group.bench_function(BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")), |b| {
-            b.iter(|| {
-                let mut hm = HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 3);
-                for pkt in &trace {
-                    hm.update(pkt.src);
-                }
-                hm.processed()
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")),
+            |b| {
+                b.iter(|| {
+                    let mut hm =
+                        HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 3);
+                    for pkt in &trace {
+                        hm.update(pkt.src);
+                    }
+                    hm.processed()
+                })
+            },
+        );
     }
     group.bench_function(BenchmarkId::new("1d/baseline_window_mst", "full"), |b| {
         b.iter(|| {
@@ -54,16 +58,25 @@ fn bench_hhh_speed(c: &mut Criterion) {
     // --- 2D source x destination hierarchy (H = 25) ----------------------
     for i in [0i32, 4, 8] {
         let tau = (25.0 * 2f64.powi(-10)).max(2f64.powi(-i)).min(1.0);
-        group.bench_function(BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")), |b| {
-            b.iter(|| {
-                let mut hm =
-                    HMemento::new(SrcDstHierarchy, 25 * counters_per_level, window, tau, 0.01, 3);
-                for pkt in &trace {
-                    hm.update(pkt.src_dst());
-                }
-                hm.processed()
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")),
+            |b| {
+                b.iter(|| {
+                    let mut hm = HMemento::new(
+                        SrcDstHierarchy,
+                        25 * counters_per_level,
+                        window,
+                        tau,
+                        0.01,
+                        3,
+                    );
+                    for pkt in &trace {
+                        hm.update(pkt.src_dst());
+                    }
+                    hm.processed()
+                })
+            },
+        );
     }
     group.bench_function(BenchmarkId::new("2d/baseline_window_mst", "full"), |b| {
         b.iter(|| {

@@ -30,15 +30,19 @@ fn bench_hhh_vs_interval(c: &mut Criterion) {
 
     for i in [2i32, 5, 8] {
         let tau = 2f64.powi(-i);
-        group.bench_function(BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")), |b| {
-            b.iter(|| {
-                let mut hm = HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 9);
-                for pkt in &trace {
-                    hm.update(pkt.src);
-                }
-                hm.full_updates()
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("1d/h_memento", format!("tau_2^-{i}")),
+            |b| {
+                b.iter(|| {
+                    let mut hm =
+                        HMemento::new(SrcHierarchy, 5 * counters_per_level, window, tau, 0.01, 9);
+                    for pkt in &trace {
+                        hm.update(pkt.src);
+                    }
+                    hm.full_updates()
+                })
+            },
+        );
         group.bench_function(BenchmarkId::new("1d/rhhh", format!("tau_2^-{i}")), |b| {
             b.iter(|| {
                 let mut rhhh = Rhhh::new(SrcHierarchy, counters_per_level, tau, 0.01, 9);
@@ -48,16 +52,25 @@ fn bench_hhh_vs_interval(c: &mut Criterion) {
                 rhhh.updates()
             })
         });
-        group.bench_function(BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")), |b| {
-            b.iter(|| {
-                let mut hm =
-                    HMemento::new(SrcDstHierarchy, 25 * counters_per_level, window, tau, 0.01, 9);
-                for pkt in &trace {
-                    hm.update(pkt.src_dst());
-                }
-                hm.full_updates()
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("2d/h_memento", format!("tau_2^-{i}")),
+            |b| {
+                b.iter(|| {
+                    let mut hm = HMemento::new(
+                        SrcDstHierarchy,
+                        25 * counters_per_level,
+                        window,
+                        tau,
+                        0.01,
+                        9,
+                    );
+                    for pkt in &trace {
+                        hm.update(pkt.src_dst());
+                    }
+                    hm.full_updates()
+                })
+            },
+        );
         group.bench_function(BenchmarkId::new("2d/rhhh", format!("tau_2^-{i}")), |b| {
             b.iter(|| {
                 let mut rhhh = Rhhh::new(SrcDstHierarchy, counters_per_level, tau, 0.01, 9);

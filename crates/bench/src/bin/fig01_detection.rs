@@ -45,8 +45,15 @@ fn main() {
     let trials = scaled(5, 9);
     let target = Packet::from_octets([250, 250, 250, 250], [9, 9, 9, 9]).flow();
 
-    eprintln!("# Figure 1b: detection time vs frequency/threshold ratio (W={window}, theta={theta})");
-    csv_header(&["freq_over_threshold", "window", "improved_interval", "interval"]);
+    eprintln!(
+        "# Figure 1b: detection time vs frequency/threshold ratio (W={window}, theta={theta})"
+    );
+    csv_header(&[
+        "freq_over_threshold",
+        "window",
+        "improved_interval",
+        "interval",
+    ]);
     let mut ratio = 1.05;
     while ratio <= 3.01 {
         let fraction = ratio * theta;

@@ -26,7 +26,12 @@ fn main() {
 
     eprintln!(
         "# Figure 4: error bounds vs bandwidth budget (O={}, E={}, m={}, H={}, W={}, delta={})",
-        base.header_overhead, base.sample_bytes, base.points, base.hierarchy, base.window, base.delta
+        base.header_overhead,
+        base.sample_bytes,
+        base.points,
+        base.hierarchy,
+        base.window,
+        base.delta
     );
     csv_header(&[
         "budget_bytes_per_pkt",

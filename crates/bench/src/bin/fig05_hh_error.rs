@@ -1,18 +1,18 @@
 //! Figure 5 (b, d, f) — single-device heavy-hitter on-arrival RMSE vs the
 //! sampling probability τ, for 64/512/4096 counters, on the three traces.
 //!
-//! For every sampled arrival the estimate of the arriving packet's flow is
-//! compared against the exact sliding-window count (the paper's On Arrival
-//! model). Output: CSV of RMSE per (trace, counters, τ).
+//! Every algorithm runs behind the generic [`on_arrival_rmse`] driver (the
+//! paper's On Arrival model: the estimate of the arriving packet's flow is
+//! compared against the exact sliding window). Output: CSV of RMSE per
+//! (trace, counters, τ).
 //!
 //! ```text
 //! cargo run -p memento-bench --release --bin fig05_hh_error [--full]
 //! ```
 
-use memento_bench::{csv_header, csv_row, make_trace, scaled, Rmse, COUNTER_SWEEP};
+use memento_bench::{csv_header, csv_row, make_trace, on_arrival_rmse, scaled, COUNTER_SWEEP};
 use memento_core::Memento;
-use memento_sketches::ExactWindow;
-use memento_traces::TracePreset;
+use memento_traces::{Packet, TracePreset};
 
 fn main() {
     let packets = scaled(200_000, 16_000_000);
@@ -25,22 +25,15 @@ fn main() {
     csv_header(&["trace", "counters", "tau_exponent", "tau", "rmse"]);
 
     for preset in TracePreset::all() {
-        let trace = make_trace(&preset, packets, 13);
+        let flows: Vec<u64> = make_trace(&preset, packets, 13)
+            .iter()
+            .map(Packet::flow)
+            .collect();
         for &counters in &COUNTER_SWEEP {
             for i in [0i32, 2, 4, 6, 8, 10] {
                 let tau = 2f64.powi(-i);
-                let mut memento = Memento::new(counters, window, tau, 3);
-                let mut exact = ExactWindow::new(window);
-                let mut rmse = Rmse::new();
-                for (n, pkt) in trace.iter().enumerate() {
-                    let flow = pkt.flow();
-                    // On-arrival: estimate the arriving packet's flow first.
-                    if n > window && n % probe_every == 0 {
-                        rmse.record(memento.estimate(&flow), exact.query(&flow) as f64);
-                    }
-                    memento.update(flow);
-                    exact.add(flow);
-                }
+                let mut memento: Memento<u64> = Memento::new(counters, window, tau, 3);
+                let rmse = on_arrival_rmse(&mut memento, &flows, window, probe_every);
                 csv_row(&[
                     preset.name.to_string(),
                     counters.to_string(),

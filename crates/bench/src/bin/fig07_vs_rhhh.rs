@@ -1,6 +1,7 @@
 //! Figure 7 — H-Memento (sliding window) vs RHHH (interval) update speed on
 //! the backbone trace, 1D (H=5) and 2D (H=25).
 //!
+//! Both algorithms run behind the generic [`measure_hhh_mpps`] driver.
 //! Output: CSV of million packets per second per (dimension, algorithm, τ).
 //!
 //! ```text
@@ -8,12 +9,13 @@
 //! ```
 
 use memento_baselines::Rhhh;
-use memento_bench::{csv_header, csv_row, make_trace, measure_mpps, scaled};
+use memento_bench::{csv_header, csv_row, make_trace, measure_hhh_mpps, scaled};
+use memento_core::traits::HhhAlgorithm;
 use memento_core::HMemento;
 use memento_hierarchy::{Hierarchy, SrcDstHierarchy, SrcHierarchy};
 use memento_traces::TracePreset;
 
-fn run_dim<Hi: Hierarchy>(
+fn run_dim<Hi: Hierarchy + 'static>(
     hier: Hi,
     packets: usize,
     window: usize,
@@ -22,35 +24,26 @@ fn run_dim<Hi: Hierarchy>(
 ) where
     Hi::Prefix: std::hash::Hash,
 {
-    let trace = make_trace(&TracePreset::backbone(), packets, 19);
+    let items: Vec<Hi::Item> = make_trace(&TracePreset::backbone(), packets, 19)
+        .iter()
+        .map(&to_item)
+        .collect();
     let h = hier.h();
     let dim = if hier.dimensions() == 1 { "1d" } else { "2d" };
     for i in 0..=10 {
         let tau = 2f64.powi(-i);
         let mut hm = HMemento::new(hier.clone(), h * counters_per_level, window, tau, 0.01, 3);
-        let hm_mpps = measure_mpps(packets, || {
-            for pkt in &trace {
-                hm.update(to_item(pkt));
-            }
-        });
         let mut rhhh = Rhhh::new(hier.clone(), counters_per_level, tau, 0.01, 3);
-        let rhhh_mpps = measure_mpps(packets, || {
-            for pkt in &trace {
-                rhhh.update(to_item(pkt));
-            }
-        });
-        csv_row(&[
-            dim.to_string(),
-            "h_memento".to_string(),
-            format!("{tau:.6}"),
-            format!("{hm_mpps:.2}"),
-        ]);
-        csv_row(&[
-            dim.to_string(),
-            "rhhh".to_string(),
-            format!("{tau:.6}"),
-            format!("{rhhh_mpps:.2}"),
-        ]);
+        let contenders: [&mut dyn HhhAlgorithm<Hi>; 2] = [&mut hm, &mut rhhh];
+        for alg in contenders {
+            let mpps = measure_hhh_mpps(alg, &items);
+            csv_row(&[
+                dim.to_string(),
+                alg.name().to_string(),
+                format!("{tau:.6}"),
+                format!("{mpps:.2}"),
+            ]);
+        }
     }
 }
 

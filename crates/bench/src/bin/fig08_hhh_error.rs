@@ -2,19 +2,20 @@
 //! for the Interval algorithm (MST), the Baseline (window MST) and
 //! H-Memento, on the three traces.
 //!
-//! For every probed arrival, each algorithm estimates the frequency of each
-//! of the arriving packet's source prefixes; the error is measured against
-//! the exact sliding window. The Interval algorithm is reset every `W`
-//! requests and configured with a smaller ε so that its memory matches the
-//! window algorithms, as in §6.3.1. Output: CSV of RMSE per
+//! All three algorithms run behind the generic [`on_arrival_hhh_rmse`]
+//! driver, which probes every algorithm against one shared exact
+//! sliding-window oracle and resets the interval algorithms every `W`
+//! requests (§6.3.1). The Interval algorithm is configured with a smaller ε
+//! so that its memory matches the window algorithms. Output: CSV of RMSE per
 //! (trace, algorithm, prefix length).
 //!
 //! ```text
 //! cargo run -p memento-bench --release --bin fig08_hhh_error [--full]
 //! ```
 
-use memento_baselines::{ExactWindowHhh, Mst, WindowMst};
-use memento_bench::{csv_header, csv_row, make_trace, scaled, Rmse};
+use memento_baselines::{Mst, WindowMst};
+use memento_bench::{csv_header, csv_row, make_trace, on_arrival_hhh_rmse, scaled};
+use memento_core::traits::HhhAlgorithm;
 use memento_core::HMemento;
 use memento_hierarchy::{Hierarchy, SrcHierarchy};
 use memento_traces::TracePreset;
@@ -29,7 +30,11 @@ fn main() {
     // Paper configuration: epsilon_a = 0.1% for the window algorithms,
     // 0.025% for MST, giving comparable memory. Scaled down proportionally
     // for the laptop-scale window.
-    let eps_a = if memento_bench::full_scale() { 0.001 } else { 0.005 };
+    let eps_a = if memento_bench::full_scale() {
+        0.001
+    } else {
+        0.005
+    };
     let h_memento_counters = (h as f64 / eps_a).ceil() as usize;
     let baseline_counters_per_level = (4.0 / eps_a).ceil() as usize;
     let mst_counters_per_level = (1.0 / (eps_a / 4.0)).ceil() as usize;
@@ -48,57 +53,28 @@ fn main() {
     csv_header(&["trace", "algorithm", "prefix_len_bits", "rmse"]);
 
     for preset in TracePreset::all() {
-        let trace = make_trace(&preset, packets, 23);
+        let items: Vec<u32> = make_trace(&preset, packets, 23)
+            .iter()
+            .map(|p| p.src)
+            .collect();
         let mut h_memento = HMemento::new(hier, h_memento_counters, window, tau, 0.01, 5);
         let mut baseline = WindowMst::new(hier, baseline_counters_per_level, window);
         let mut interval = Mst::new(hier, mst_counters_per_level);
-        let mut oracle = ExactWindowHhh::new(hier, window);
+        let mut contenders: [&mut dyn HhhAlgorithm<SrcHierarchy>; 3] =
+            [&mut h_memento, &mut baseline, &mut interval];
+        let names: Vec<String> = contenders.iter().map(|a| a.name().to_string()).collect();
 
-        let mut rmse_hm = vec![Rmse::new(); h];
-        let mut rmse_base = vec![Rmse::new(); h];
-        let mut rmse_int = vec![Rmse::new(); h];
+        let rmse = on_arrival_hhh_rmse(&hier, &mut contenders, &items, window, probe_every);
 
-        for (n, pkt) in trace.iter().enumerate() {
-            let src = pkt.src;
-            if n > window && n % probe_every == 0 {
-                for level in 0..h {
-                    let prefix = hier.prefix_at(src, level);
-                    let exact = oracle.frequency(&prefix) as f64;
-                    rmse_hm[level].record(h_memento.estimate(&prefix), exact);
-                    rmse_base[level].record(baseline.estimate(&prefix), exact);
-                    rmse_int[level].record(interval.estimate(&prefix), exact);
-                }
+        for (name, per_level) in names.iter().zip(&rmse) {
+            for (level, r) in per_level.iter().enumerate() {
+                csv_row(&[
+                    preset.name.to_string(),
+                    name.clone(),
+                    (32 - 8 * level).to_string(),
+                    format!("{:.1}", r.value()),
+                ]);
             }
-            h_memento.update(src);
-            baseline.update(src);
-            interval.update(src);
-            oracle.update(src);
-            // The interval method restarts its measurement every W requests.
-            if (n + 1) % window == 0 {
-                interval.reset();
-            }
-        }
-
-        for level in 0..h {
-            let bits = 32 - 8 * level;
-            csv_row(&[
-                preset.name.to_string(),
-                "h_memento".to_string(),
-                bits.to_string(),
-                format!("{:.1}", rmse_hm[level].value()),
-            ]);
-            csv_row(&[
-                preset.name.to_string(),
-                "baseline".to_string(),
-                bits.to_string(),
-                format!("{:.1}", rmse_base[level].value()),
-            ]);
-            csv_row(&[
-                preset.name.to_string(),
-                "interval_mst".to_string(),
-                bits.to_string(),
-                format!("{:.1}", rmse_int[level].value()),
-            ]);
         }
     }
 }

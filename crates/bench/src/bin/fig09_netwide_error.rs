@@ -40,7 +40,11 @@ fn main() {
 
     for preset in TracePreset::all() {
         let trace = make_trace(&preset, packets, 29);
-        for method in [CommMethod::Aggregation, CommMethod::Sample, CommMethod::Batch(opt_b)] {
+        for method in [
+            CommMethod::Aggregation,
+            CommMethod::Sample,
+            CommMethod::Batch(opt_b),
+        ] {
             let config = SimConfig {
                 points: 10,
                 window,
@@ -54,9 +58,9 @@ fn main() {
             let mut rmse = vec![Rmse::new(); hier.h()];
             for (n, pkt) in trace.iter().enumerate() {
                 if n > window && n % probe_every == 0 {
-                    for level in 0..hier.h() {
+                    for (level, acc) in rmse.iter_mut().enumerate() {
                         let prefix = hier.prefix_at(pkt.src, level);
-                        rmse[level].record(sim.estimate(&prefix), sim.exact(&prefix) as f64);
+                        acc.record(sim.estimate(&prefix), sim.exact(&prefix) as f64);
                     }
                 }
                 sim.process(pkt.src);

@@ -56,7 +56,11 @@ fn main() {
         base.theta
     );
 
-    let methods = [CommMethod::Batch(opt_b), CommMethod::Sample, CommMethod::Aggregation];
+    let methods = [
+        CommMethod::Batch(opt_b),
+        CommMethod::Sample,
+        CommMethod::Aggregation,
+    ];
     let mut results = Vec::new();
     for method in methods {
         let mut cfg = base.clone();
@@ -66,7 +70,12 @@ fn main() {
 
     // --- Figures 10a / 10b: detection curves -----------------------------
     println!("## detection_curves");
-    csv_header(&["method", "packet_index", "detected_subnets", "opt_detected_subnets"]);
+    csv_header(&[
+        "method",
+        "packet_index",
+        "detected_subnets",
+        "opt_detected_subnets",
+    ]);
     for result in &results {
         for ((i, detected), (_, opt)) in result
             .detection_curve

@@ -24,7 +24,13 @@ fn main() {
         // (H, E, W, B, what the paper's prose reports)
         (5usize, 4.0, 1_000_000usize, 1.0, "b=44, err~13K (1.3%)"),
         (5, 4.0, 1_000_000, 5.0, "b=68, err~5.3K (0.53%)"),
-        (5, 4.0, 10_000_000, 1.0, "b=109, err~0.15% (see EXPERIMENTS.md)"),
+        (
+            5,
+            4.0,
+            10_000_000,
+            1.0,
+            "b=109, err~0.15% (see EXPERIMENTS.md)",
+        ),
         (25, 8.0, 1_000_000, 1.0, "larger error, larger b than 1D"),
     ];
 

@@ -15,8 +15,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::hash::Hash;
 use std::time::Instant;
 
+use memento_baselines::ExactWindowHhh;
+use memento_core::traits::{HhhAlgorithm, SlidingWindowEstimator};
+use memento_hierarchy::Hierarchy;
+use memento_sketches::ExactWindow;
 use memento_traces::{Packet, TraceGenerator, TracePreset};
 
 /// True when the harness should run at paper scale (`--full` argument or
@@ -55,6 +60,115 @@ pub fn measure_mpps<F: FnMut()>(packets: usize, mut run: F) -> f64 {
     run();
     let elapsed = start.elapsed().as_secs_f64();
     packets as f64 / elapsed / 1e6
+}
+
+// ---------------------------------------------------------------------------
+// Generic drivers. Every figure harness drives its algorithms through these,
+// so adding an algorithm to a comparison means implementing a trait, not
+// writing another per-algorithm loop.
+// ---------------------------------------------------------------------------
+
+/// Per-packet update throughput of a flow estimator, in million packets per
+/// second.
+pub fn measure_estimator_mpps<K: Clone>(
+    estimator: &mut dyn SlidingWindowEstimator<K>,
+    keys: &[K],
+) -> f64 {
+    measure_mpps(keys.len(), || {
+        for key in keys {
+            estimator.update(key.clone());
+        }
+    })
+}
+
+/// Batched update throughput of a flow estimator (drives the
+/// `update_batch` fast path), in million packets per second.
+pub fn measure_estimator_batch_mpps<K: Clone>(
+    estimator: &mut dyn SlidingWindowEstimator<K>,
+    keys: &[K],
+) -> f64 {
+    measure_mpps(keys.len(), || estimator.update_batch(keys))
+}
+
+/// Per-packet update throughput of an HHH algorithm, in million packets per
+/// second.
+pub fn measure_hhh_mpps<Hi: Hierarchy>(
+    algorithm: &mut dyn HhhAlgorithm<Hi>,
+    items: &[Hi::Item],
+) -> f64 {
+    measure_mpps(items.len(), || {
+        for &item in items {
+            algorithm.update(item);
+        }
+    })
+}
+
+/// The paper's On Arrival error model for flow estimators: before each
+/// probed arrival, the arriving packet's flow is estimated and compared
+/// against an exact sliding window of `window` packets. The first `window`
+/// packets warm up; afterwards every `probe_every`-th arrival is scored.
+pub fn on_arrival_rmse<K: Eq + Hash + Clone>(
+    estimator: &mut dyn SlidingWindowEstimator<K>,
+    keys: &[K],
+    window: usize,
+    probe_every: usize,
+) -> Rmse {
+    assert!(probe_every > 0, "probe interval must be positive");
+    let mut exact = ExactWindow::new(window);
+    let mut rmse = Rmse::new();
+    for (n, key) in keys.iter().enumerate() {
+        if n > window && n % probe_every == 0 {
+            rmse.record(estimator.estimate(key), exact.query(key) as f64);
+        }
+        estimator.update(key.clone());
+        exact.add(key.clone());
+    }
+    rmse
+}
+
+/// On Arrival error for HHH algorithms, per prefix level: before each probed
+/// arrival, every algorithm estimates each of the arriving packet's
+/// prefixes against an exact sliding window of `window` packets. Interval
+/// algorithms ([`HhhAlgorithm::is_interval`]) are reset every `window`
+/// packets, as in §6.3.1. Returns one `Vec<Rmse>` (indexed by prefix level)
+/// per algorithm, in input order.
+pub fn on_arrival_hhh_rmse<Hi: Hierarchy>(
+    hier: &Hi,
+    algorithms: &mut [&mut dyn HhhAlgorithm<Hi>],
+    items: &[Hi::Item],
+    window: usize,
+    probe_every: usize,
+) -> Vec<Vec<Rmse>>
+where
+    Hi::Prefix: Hash,
+{
+    assert!(probe_every > 0, "probe interval must be positive");
+    let h = hier.h();
+    let mut oracle = ExactWindowHhh::new(hier.clone(), window);
+    let mut rmse = vec![vec![Rmse::new(); h]; algorithms.len()];
+    for (n, &item) in items.iter().enumerate() {
+        if n > window && n % probe_every == 0 {
+            for level in 0..h {
+                let prefix = hier.prefix_at(item, level);
+                let exact = oracle.frequency(&prefix) as f64;
+                for (alg, acc) in algorithms.iter().zip(rmse.iter_mut()) {
+                    acc[level].record(alg.estimate(&prefix), exact);
+                }
+            }
+        }
+        for alg in algorithms.iter_mut() {
+            alg.update(item);
+        }
+        oracle.update(item);
+        if (n + 1) % window == 0 {
+            for alg in algorithms.iter_mut() {
+                if alg.is_interval() {
+                    alg.reset_interval();
+                }
+            }
+        }
+    }
+    rmse
 }
 
 /// Prints a CSV header line.
@@ -147,5 +261,66 @@ mod tests {
         });
         assert!(mpps > 0.0);
         assert!(acc > 0);
+    }
+
+    #[test]
+    fn generic_estimator_drivers_process_every_packet() {
+        use memento_core::Memento;
+        let keys: Vec<u64> = make_trace(&TracePreset::tiny(), 5_000, 2)
+            .iter()
+            .map(Packet::flow)
+            .collect();
+        let mut memento: Memento<u64> = Memento::new(64, 2_000, 0.5, 1);
+        let mpps = measure_estimator_mpps(&mut memento, &keys);
+        assert!(mpps > 0.0);
+        assert_eq!(SlidingWindowEstimator::processed(&memento), 5_000);
+        let mut batched: Memento<u64> = Memento::new(64, 2_000, 0.5, 1);
+        let mpps = measure_estimator_batch_mpps(&mut batched, &keys);
+        assert!(mpps > 0.0);
+        assert_eq!(SlidingWindowEstimator::processed(&batched), 5_000);
+    }
+
+    #[test]
+    fn on_arrival_rmse_is_zero_for_an_exact_estimator() {
+        let keys: Vec<u64> = make_trace(&TracePreset::tiny(), 4_000, 3)
+            .iter()
+            .map(Packet::flow)
+            .collect();
+        let mut exact: ExactWindow<u64> = ExactWindow::new(1_000);
+        let rmse = on_arrival_rmse(&mut exact, &keys, 1_000, 10);
+        assert!(rmse.count() > 0);
+        assert_eq!(rmse.value(), 0.0);
+    }
+
+    #[test]
+    fn hhh_driver_scores_all_algorithms_and_resets_interval_ones() {
+        use memento_baselines::Mst;
+        use memento_core::HMemento;
+        use memento_hierarchy::SrcHierarchy;
+        let hier = SrcHierarchy;
+        let items: Vec<u32> = make_trace(&TracePreset::tiny(), 6_000, 5)
+            .iter()
+            .map(|p| p.src)
+            .collect();
+        let window = 2_000;
+        let mut hm = HMemento::new(hier, 512, window, 1.0, 0.01, 1);
+        let mut mst = Mst::new(hier, 128);
+        let rmse = on_arrival_hhh_rmse(
+            &hier,
+            &mut [&mut hm as &mut dyn HhhAlgorithm<_>, &mut mst],
+            &items,
+            window,
+            20,
+        );
+        assert_eq!(rmse.len(), 2);
+        assert_eq!(rmse[0].len(), hier.h());
+        assert!(rmse[0][0].count() > 0);
+        // The interval algorithm was reset at each window boundary, so its
+        // interval only covers the tail of the trace.
+        assert!(Mst::processed(&mst) < items.len() as u64);
+        // The exact-by-construction /0 root estimate of MST right after a
+        // reset is small, but every algorithm was scored the same number of
+        // times.
+        assert_eq!(rmse[0][0].count(), rmse[1][0].count());
     }
 }

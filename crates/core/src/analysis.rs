@@ -27,7 +27,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -82,7 +82,10 @@ pub fn z_value(confidence: f64) -> f64 {
 /// `τ ≥ Z_{1−δ/4} · W⁻¹ · ε_s⁻²` (capped at 1).
 pub fn min_tau_hh(window: usize, epsilon_s: f64, delta: f64) -> f64 {
     assert!(window > 0, "window must be positive");
-    assert!(epsilon_s > 0.0 && epsilon_s < 1.0, "epsilon_s must be in (0,1)");
+    assert!(
+        epsilon_s > 0.0 && epsilon_s < 1.0,
+        "epsilon_s must be in (0,1)"
+    );
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
     let z = z_value(1.0 - delta / 4.0);
     (z / (window as f64 * epsilon_s * epsilon_s)).min(1.0)
@@ -94,7 +97,10 @@ pub fn min_tau_hh(window: usize, epsilon_s: f64, delta: f64) -> f64 {
 pub fn min_tau_hhh(window: usize, epsilon_s: f64, delta: f64, h: usize) -> f64 {
     assert!(window > 0, "window must be positive");
     assert!(h > 0, "hierarchy size must be positive");
-    assert!(epsilon_s > 0.0 && epsilon_s < 1.0, "epsilon_s must be in (0,1)");
+    assert!(
+        epsilon_s > 0.0 && epsilon_s < 1.0,
+        "epsilon_s must be in (0,1)"
+    );
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
     let z = z_value(1.0 - delta / 2.0);
     (z * h as f64 / (window as f64 * epsilon_s * epsilon_s)).min(1.0)
@@ -142,7 +148,10 @@ impl NetworkBudget {
         assert!(self.points > 0, "at least one measurement point");
         assert!(self.hierarchy > 0, "hierarchy size must be positive");
         assert!(self.window > 0, "window must be positive");
-        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0,1)");
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0,1)"
+        );
         assert!(self.budget > 0.0, "budget must be positive");
     }
 
@@ -297,11 +306,20 @@ mod tests {
         let mut budget = base;
         budget.window = 10_000_000;
         let (b, err) = budget.optimal_batch(2000);
-        assert!(b >= b_small, "larger window must not shrink the batch: {b} < {b_small}");
+        assert!(
+            b >= b_small,
+            "larger window must not shrink the batch: {b} < {b_small}"
+        );
         let rel = err / budget.window as f64;
         let rel_small = err_small / base.window as f64;
-        assert!(rel < rel_small, "relative error must drop: {rel} vs {rel_small}");
-        assert!(rel < 0.005, "relative error {rel} should be well below 0.5%");
+        assert!(
+            rel < rel_small,
+            "relative error must drop: {rel} vs {rel_small}"
+        );
+        assert!(
+            rel < 0.005,
+            "relative error {rel} should be well below 0.5%"
+        );
     }
 
     #[test]
@@ -322,7 +340,10 @@ mod tests {
         let budget = NetworkBudget::paper_example();
         let (delay_sample, sampling_sample) = budget.error_components(1);
         let (delay_batch, sampling_batch) = budget.error_components(100);
-        assert!(delay_sample < delay_batch, "Sample has the smallest delay error");
+        assert!(
+            delay_sample < delay_batch,
+            "Sample has the smallest delay error"
+        );
         assert!(
             sampling_sample > sampling_batch,
             "Sample conveys less information, so its sampling error is larger"

@@ -23,7 +23,7 @@
 
 use std::hash::Hash;
 
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::PrefixSampler;
 
 use crate::analysis::z_value;
@@ -138,7 +138,14 @@ where
 
     /// Creates an instance sized from an algorithm error `ε_a`: the paper
     /// allocates `H/ε_a` counters (Theorem A.19).
-    pub fn with_epsilon(hier: Hi, epsilon: f64, window: usize, tau: f64, delta: f64, seed: u64) -> Self {
+    pub fn with_epsilon(
+        hier: Hi,
+        epsilon: f64,
+        window: usize,
+        tau: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Self {
         assert!(
             epsilon > 0.0 && epsilon < 1.0,
             "epsilon must be in (0,1), got {epsilon}"
@@ -313,7 +320,7 @@ mod tests {
         let hhh = hm.output(0.2);
         let heavy = Prefix1D::new(addr(181, 0, 0, 0), 8);
         assert!(
-            hhh.iter().any(|p| *p == heavy),
+            hhh.contains(&heavy),
             "heavy /8 not detected; output = {:?}",
             hhh.iter().map(|p| p.to_string()).collect::<Vec<_>>()
         );
@@ -329,7 +336,7 @@ mod tests {
         let mut last_window: Vec<u32> = Vec::new();
         for _ in 0..window {
             let item = match rng.gen_range(0..10) {
-                0..=3 => addr(10, 0, 0, rng.gen_range(0..4)),        // heavy /30-ish hosts
+                0..=3 => addr(10, 0, 0, rng.gen_range(0..4)), // heavy /30-ish hosts
                 4..=6 => addr(20, rng.gen_range(0..4), rng.gen(), rng.gen()), // heavy /8
                 _ => addr(rng.gen_range(60..250), rng.gen(), rng.gen(), rng.gen()),
             };

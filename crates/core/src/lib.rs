@@ -47,10 +47,12 @@ pub mod config;
 pub mod error;
 pub mod h_memento;
 pub mod memento;
+pub mod traits;
 pub mod wcss;
 
 pub use config::MementoConfig;
 pub use error::ConfigError;
 pub use h_memento::HMemento;
 pub use memento::Memento;
+pub use traits::{HhhAlgorithm, SlidingWindowEstimator};
 pub use wcss::Wcss;

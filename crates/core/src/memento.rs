@@ -75,6 +75,10 @@ pub struct Memento<K: Eq + Hash + Clone> {
     m: usize,
     /// τ-sampler (random-number table).
     sampler: TableSampler,
+    /// Leftover geometric skip carried between [`Self::update_batch`] calls:
+    /// number of packets that must still receive Window updates before the
+    /// next Full update. `None` until the batch path first draws a skip.
+    batch_skip: Option<u64>,
     /// Total packets processed (full + window updates).
     processed: u64,
     /// Number of Full updates performed (for diagnostics/tests).
@@ -134,6 +138,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             overflow_counts: HashMap::new(),
             m: 0,
             sampler: TableSampler::with_seed(config.tau, config.seed),
+            batch_skip: None,
             processed: 0,
             full_updates: 0,
         }
@@ -166,8 +171,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         assert!(scale >= 1.0, "query scale must be at least 1, got {scale}");
         self.full_update_rate = full_update_rate;
         self.scale = scale;
-        self.overflow_threshold =
-            Self::threshold_for(full_update_rate, self.window, self.counters);
+        self.overflow_threshold = Self::threshold_for(full_update_rate, self.window, self.counters);
     }
 
     // ---- accessors ----------------------------------------------------------
@@ -256,7 +260,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             // New frame: the in-frame counts restart.
             self.y.flush();
         }
-        if self.m % self.block_size == 0 {
+        if self.m.is_multiple_of(self.block_size) {
             // New block: the oldest block no longer overlaps the window.
             // Thanks to the per-packet draining below the dropped queue is
             // normally empty; retire any stragglers to keep B exact.
@@ -278,12 +282,118 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         self.window_update();
         self.full_updates += 1;
         let count = self.y.add(key.clone());
-        if count % self.overflow_threshold == 0 {
+        if count.is_multiple_of(self.overflow_threshold) {
             // The flow's sampled count crossed a block's worth of Full
             // updates: record an overflow.
             self.b.push_current(key.clone());
             *self.overflow_counts.entry(key).or_insert(0) += 1;
         }
+    }
+
+    /// Processes a batch of packets with the τ-sampling hot path of §5:
+    /// instead of flipping one coin per packet, it draws *geometric skip
+    /// counts* (the number of packets until the next Full update) and
+    /// advances the window over the skipped stretch in bulk. The sampled
+    /// packets receive exactly the same Full update as [`Self::update`]
+    /// would give them, at exactly rate τ (geometric skips are the inverse-
+    /// CDF view of per-packet Bernoulli sampling), so estimates keep the
+    /// guarantees of Theorem 5.2 — only the per-packet constant work drops.
+    ///
+    /// With τ = 1 every packet is a Full update and the batch degenerates to
+    /// the per-packet loop (bit-for-bit identical behaviour, which the
+    /// workspace's property tests assert for WCSS).
+    ///
+    /// A partially consumed skip is carried across calls, so splitting a
+    /// stream into arbitrary batches does not bias the sampling rate.
+    pub fn update_batch(&mut self, keys: &[K]) {
+        if self.tau >= 1.0 {
+            for key in keys {
+                self.full_update(key.clone());
+            }
+            return;
+        }
+        let ln_keep = (1.0 - self.tau).ln();
+        let mut skip = match self.batch_skip.take() {
+            Some(s) => s,
+            None => self.draw_skip(ln_keep),
+        };
+        let mut i = 0usize;
+        while i < keys.len() {
+            let remaining = (keys.len() - i) as u64;
+            if skip >= remaining {
+                // No Full update lands in the rest of this batch.
+                self.advance_window(remaining as usize);
+                skip -= remaining;
+                break;
+            }
+            self.advance_window(skip as usize);
+            self.full_update(keys[i + skip as usize].clone());
+            i += skip as usize + 1;
+            skip = self.draw_skip(ln_keep);
+        }
+        self.batch_skip = Some(skip);
+    }
+
+    /// Draws a geometric skip (failures before the next success at rate τ)
+    /// from the random-number table via inversion.
+    #[inline]
+    fn draw_skip(&mut self, ln_keep: f64) -> u64 {
+        // Map the table's u32 to the open interval (0, 1).
+        let u = (self.sampler.next_u32() as f64 + 0.5) / (u32::MAX as f64 + 1.0);
+        (u.ln() / ln_keep) as u64
+    }
+
+    /// Advances the window by `n` packets at once: equivalent to `n`
+    /// [`Self::window_update`] calls, but walking block boundaries instead of
+    /// packets. Frame flushes and block rotations fire at exactly the same
+    /// stream positions; the de-amortized overflow draining spends the same
+    /// budget of at most `n` retirements.
+    fn advance_window(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.processed += n as u64;
+        let mut left = n;
+        while left > 0 {
+            let to_block = self.block_size - (self.m % self.block_size);
+            let to_frame = self.window - self.m;
+            let to_event = to_block.min(to_frame);
+            let step = left.min(to_event);
+            self.m += step;
+            left -= step;
+            if step < to_event {
+                break; // batch ends inside a block
+            }
+            if self.m == self.window {
+                // Frame boundary: in-frame counts restart, and the position
+                // is also a block boundary (m = 0).
+                self.m = 0;
+                self.y.flush();
+            }
+            let dropped = self.b.rotate();
+            for key in dropped {
+                self.retire_overflow(&key);
+            }
+        }
+        // De-amortized retirement, same budget as n per-packet updates.
+        for _ in 0..n {
+            match self.b.pop_oldest() {
+                Some(old) => self.retire_overflow(&old),
+                None => break,
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes of the algorithm's state: the
+    /// in-frame Space-Saving summary, the per-block overflow queues and the
+    /// overflow table `B`. The fixed-size random-number table of the sampler
+    /// is excluded — it is shared bookkeeping independent of the configured
+    /// accuracy, and the paper compares algorithms by counter space.
+    pub fn space_bytes(&self) -> usize {
+        self.y.space_bytes()
+            + self.b.space_bytes()
+            + self.overflow_counts.len()
+                * (std::mem::size_of::<K>() + std::mem::size_of::<u32>() + 16)
     }
 
     fn retire_overflow(&mut self, key: &K) {
@@ -302,9 +412,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     fn raw_estimate(&self, key: &K) -> u64 {
         let block = self.overflow_threshold;
         match self.overflow_counts.get(key) {
-            Some(&overflows) => {
-                block * (overflows as u64 + 2) + (self.y.query(key) % block)
-            }
+            Some(&overflows) => block * (overflows as u64 + 2) + (self.y.query(key) % block),
             None => 2 * block + self.y.query(key),
         }
     }
@@ -456,7 +564,7 @@ mod tests {
             let flow = if rng.gen::<f64>() < 0.25 {
                 0u64
             } else {
-                1 + rng.gen_range(0..1000)
+                1 + rng.gen_range(0..1000u64)
             };
             memento.update(flow);
             exact.add(flow);
@@ -470,7 +578,10 @@ mod tests {
             rel < 0.5,
             "relative error too large under sampling: est {est} real {real} rel {rel}"
         );
-        assert!(est > 0.5 * real, "estimate collapsed: est {est} real {real}");
+        assert!(
+            est > 0.5 * real,
+            "estimate collapsed: est {est} real {real}"
+        );
         // The number of full updates should be ~tau * processed.
         let ratio = memento.full_updates() as f64 / memento.processed() as f64;
         assert!((ratio - tau).abs() < tau * 0.2, "full update ratio {ratio}");
@@ -520,7 +631,11 @@ mod tests {
         let mut exact = ExactWindow::new(window);
         let mut rng = StdRng::seed_from_u64(14);
         for _ in 0..3 * window {
-            let flow = if rng.gen::<f64>() < 0.3 { 1u64 } else { rng.gen_range(2..500) };
+            let flow = if rng.gen::<f64>() < 0.3 {
+                1u64
+            } else {
+                rng.gen_range(2..500)
+            };
             memento.update(flow);
             exact.add(flow);
         }
@@ -529,7 +644,8 @@ mod tests {
         let upper = memento.upper_bound(&1);
         assert!(point <= upper);
         assert!(
-            (point - real).abs() <= 2.0 * memento.overflow_threshold() as f64 + (window / 100) as f64,
+            (point - real).abs()
+                <= 2.0 * memento.overflow_threshold() as f64 + (window / 100) as f64,
             "point estimate {point} too far from exact {real}"
         );
     }
@@ -578,6 +694,71 @@ mod tests {
         let keys = memento.tracked_keys();
         assert!(keys.contains(&"overflowing"));
         assert!(keys.contains(&"fresh"));
+    }
+
+    #[test]
+    fn batched_updates_match_per_packet_updates_at_tau_one() {
+        // With τ = 1 the batch path performs the same Full updates in the
+        // same order as the per-packet path: state must match exactly.
+        let window = 2_000;
+        let mut per_packet = Memento::new(64, window, 1.0, 9);
+        let mut batched = Memento::new(64, window, 1.0, 9);
+        let mut rng = StdRng::seed_from_u64(21);
+        let keys: Vec<u64> = (0..3 * window).map(|_| rng.gen_range(0u64..300)).collect();
+        for &k in &keys {
+            per_packet.update(k);
+        }
+        for part in keys.chunks(173) {
+            batched.update_batch(part);
+        }
+        assert_eq!(per_packet.processed(), batched.processed());
+        assert_eq!(per_packet.full_updates(), batched.full_updates());
+        assert_eq!(per_packet.tracked_overflows(), batched.tracked_overflows());
+        for flow in 0..300u64 {
+            assert_eq!(
+                per_packet.estimate(&flow).to_bits(),
+                batched.estimate(&flow).to_bits(),
+                "estimates diverge for flow {flow}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_updates_keep_sampled_estimates_accurate() {
+        // The geometric-skip batch path must keep the τ-sampled estimates in
+        // the same ballpark as the exact window, like the per-packet path.
+        let window = 20_000;
+        let tau = 1.0 / 16.0;
+        let mut memento = Memento::new(512, window, tau, 11);
+        let mut exact = ExactWindow::new(window);
+        let mut rng = StdRng::seed_from_u64(4);
+        let keys: Vec<u64> = (0..3 * window)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.25 {
+                    0u64
+                } else {
+                    1 + rng.gen_range(0..1000u64)
+                }
+            })
+            .collect();
+        for part in keys.chunks(777) {
+            memento.update_batch(part);
+        }
+        for &k in &keys {
+            exact.add(k);
+        }
+        let est = memento.estimate(&0);
+        let real = exact.query(&0) as f64;
+        let rel = (est - real).abs() / real;
+        assert!(
+            rel < 0.5,
+            "batched estimate too far off: est {est} real {real}"
+        );
+        let ratio = memento.full_updates() as f64 / memento.processed() as f64;
+        assert!(
+            (ratio - tau).abs() < tau * 0.2,
+            "batched full-update ratio {ratio}"
+        );
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! The workspace's unified algorithm interfaces.
+//!
+//! The paper's whole evaluation is comparative — Memento vs. WCSS vs.
+//! MST/window-MST vs. RHHH vs. exact oracles — yet each algorithm grew its
+//! own ad-hoc `update`/`estimate`/`output` surface in the seed code, so every
+//! consumer (the bench harness, the detection disciplines, the network-wide
+//! simulator) hand-rolled per-algorithm driver loops. These traits remove
+//! that duplication, in the spirit of WCSS's "one summary, many frontends"
+//! framing (Infocom 2016):
+//!
+//! * [`SlidingWindowEstimator`] — per-flow frequency estimation over a
+//!   stream, with a provided [`update_batch`](SlidingWindowEstimator::update_batch)
+//!   that concrete types can specialize (Memento replaces per-packet coin
+//!   flips with geometric skip sampling, see
+//!   [`Memento::update_batch`](crate::Memento::update_batch));
+//! * [`HhhAlgorithm`] — hierarchical heavy hitters over a [`Hierarchy`].
+//!
+//! Both traits are object safe: consumers can hold
+//! `Vec<Box<dyn SlidingWindowEstimator<u64>>>` (as the workspace's
+//! trait-object smoke test does) or take `&mut dyn HhhAlgorithm<_>`.
+
+use std::hash::Hash;
+
+use memento_hierarchy::Hierarchy;
+use memento_sketches::{ExactWindow, SpaceSaving};
+
+use crate::h_memento::HMemento;
+use crate::memento::Memento;
+use crate::wcss::Wcss;
+
+/// A streaming per-flow frequency estimator, usually over a sliding window.
+///
+/// Implementors with interval (landmark-window) semantics — [`SpaceSaving`]
+/// counts everything since its last flush — document so; the trait's
+/// contract is about the *query surface*, which the paper's evaluation
+/// drivers share across both families.
+pub trait SlidingWindowEstimator<K: Clone> {
+    /// Short stable name used in bench CSV output and test diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Processes one packet of flow `key`.
+    fn update(&mut self, key: K);
+
+    /// Processes a batch of packets.
+    ///
+    /// The provided implementation is the per-packet loop; implementors with
+    /// a cheaper bulk path (batched sampling, amortized bookkeeping)
+    /// override it. Calling `update_batch` must be statistically equivalent
+    /// to calling [`update`](Self::update) on each key in order — exactly
+    /// equivalent when the implementor is deterministic.
+    fn update_batch(&mut self, keys: &[K]) {
+        for key in keys {
+            self.update(key.clone());
+        }
+    }
+
+    /// Estimated window frequency of `key`, in packets.
+    fn estimate(&self, key: &K) -> f64;
+
+    /// Flows whose estimated frequency reaches `threshold` packets, sorted
+    /// by decreasing estimate.
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)>;
+
+    /// Approximate heap footprint of the estimator state in bytes.
+    fn space_bytes(&self) -> usize;
+
+    /// Total packets processed so far.
+    fn processed(&self) -> u64;
+
+    /// Additive bound (in packets, with high probability) on the estimation
+    /// error for the current configuration: `0` for exact oracles, `ε_a·W`
+    /// for deterministic summaries, `ε_a·W` plus sampling noise for sampled
+    /// ones. Consumers use it to scale assertions and plots, not as a hard
+    /// guarantee for sampled estimators.
+    fn error_bound(&self) -> f64;
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
+    fn name(&self) -> &'static str {
+        "memento"
+    }
+
+    #[inline]
+    fn update(&mut self, key: K) {
+        Memento::update(self, key);
+    }
+
+    /// The τ-sampling hot path: geometric skips over the batch (§5).
+    #[inline]
+    fn update_batch(&mut self, keys: &[K]) {
+        Memento::update_batch(self, keys);
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        Memento::estimate(self, key)
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        Memento::heavy_hitters(self, threshold)
+    }
+
+    fn space_bytes(&self) -> usize {
+        Memento::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        Memento::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        // ε_a·W from the counters (Theorem 5.2's algorithm error, one-sided
+        // slack included) plus a high-probability bound on the sampling
+        // noise, which scales like √(W/τ).
+        let algo = 4.0 * self.window() as f64 / self.counters() as f64;
+        let sampling = if self.tau() >= 1.0 {
+            0.0
+        } else {
+            4.0 * (self.window() as f64 / self.tau()).sqrt()
+        };
+        algo + sampling
+    }
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
+    fn name(&self) -> &'static str {
+        "wcss"
+    }
+
+    #[inline]
+    fn update(&mut self, key: K) {
+        Wcss::update(self, key);
+    }
+
+    /// WCSS is Memento with τ = 1: the batch path degenerates to per-packet
+    /// Full updates and is exactly equivalent to repeated `update` (asserted
+    /// by the workspace's property tests).
+    #[inline]
+    fn update_batch(&mut self, keys: &[K]) {
+        self.as_memento_mut().update_batch(keys);
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        Wcss::estimate(self, key)
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        Wcss::heavy_hitters(self, threshold)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.as_memento().space_bytes()
+    }
+
+    fn processed(&self) -> u64 {
+        Wcss::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        4.0 * self.window() as f64 / self.counters() as f64
+    }
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
+    fn name(&self) -> &'static str {
+        "exact-window"
+    }
+
+    #[inline]
+    fn update(&mut self, key: K) {
+        self.add(key);
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        self.query(key) as f64
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        ExactWindow::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
+            .into_iter()
+            .map(|(k, c)| (k, c as f64))
+            .collect()
+    }
+
+    fn space_bytes(&self) -> usize {
+        ExactWindow::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        ExactWindow::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Interval (landmark-window) semantics: counts everything since creation or
+/// the last flush. Included so interval baselines run under the same generic
+/// drivers the paper's §3 comparison needs.
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
+    fn name(&self) -> &'static str {
+        "space-saving"
+    }
+
+    #[inline]
+    fn update(&mut self, key: K) {
+        self.add(key);
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        self.query(key) as f64
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        SpaceSaving::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
+            .into_iter()
+            .map(|c| (c.key, c.count as f64))
+            .collect()
+    }
+
+    fn space_bytes(&self) -> usize {
+        SpaceSaving::space_bytes(self)
+    }
+
+    fn processed(&self) -> u64 {
+        SpaceSaving::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.processed() as f64 / self.counters() as f64
+    }
+}
+
+/// A hierarchical heavy-hitters algorithm over a [`Hierarchy`].
+pub trait HhhAlgorithm<Hi: Hierarchy> {
+    /// Short stable name used in bench CSV output and test diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Processes one packet.
+    fn update(&mut self, item: Hi::Item);
+
+    /// Processes a batch of packets (provided: the per-packet loop).
+    fn update_batch(&mut self, items: &[Hi::Item]) {
+        for &item in items {
+            self.update(item);
+        }
+    }
+
+    /// Estimated frequency of a prefix over the algorithm's measurement
+    /// scope (window or interval), in packets.
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64;
+
+    /// The approximate HHH set for threshold `θ ∈ (0, 1)`.
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix>;
+
+    /// Approximate heap footprint of the algorithm state in bytes.
+    fn space_bytes(&self) -> usize;
+
+    /// Total packets processed so far.
+    fn processed(&self) -> u64;
+
+    /// True for interval (landmark) algorithms — MST, RHHH — whose
+    /// measurement restarts at interval boundaries; sliding-window
+    /// algorithms return `false` (the default). Generic drivers use this to
+    /// apply the paper's §3 interval discipline (reset every `W` packets)
+    /// without knowing concrete types.
+    fn is_interval(&self) -> bool {
+        false
+    }
+
+    /// Starts a new measurement interval; a no-op for sliding-window
+    /// algorithms.
+    fn reset_interval(&mut self) {}
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for HMemento<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "h-memento"
+    }
+
+    #[inline]
+    fn update(&mut self, item: Hi::Item) {
+        HMemento::update(self, item);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        HMemento::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        HMemento::output(self, theta)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.as_memento().space_bytes()
+    }
+
+    fn processed(&self) -> u64 {
+        HMemento::processed(self)
+    }
+}

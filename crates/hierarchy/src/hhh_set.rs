@@ -155,7 +155,13 @@ where
         // in-level iteration order does not affect the result.
         let mut kept_this_level = Vec::new();
         for p in level {
-            let c = conditioned_frequency_estimate(hier, estimator, p, &selected, params.sampling_slack);
+            let c = conditioned_frequency_estimate(
+                hier,
+                estimator,
+                p,
+                &selected,
+                params.sampling_slack,
+            );
             if c >= params.threshold {
                 kept_this_level.push(*p);
             }
@@ -298,11 +304,11 @@ mod tests {
         let hier = SrcHierarchy;
         let p = p1d(10, 0, 0, 0, 8);
         let set = vec![
-            p1d(10, 0, 0, 0, 8),    // p itself: excluded (strict)
-            p1d(10, 1, 0, 0, 16),   // closest descendant
-            p1d(10, 1, 1, 0, 24),   // shadowed by 10.1/16
-            p1d(11, 0, 0, 0, 8),    // not a descendant
-            p1d(10, 2, 2, 0, 24),   // closest descendant (no /16 of it in P)
+            p1d(10, 0, 0, 0, 8),  // p itself: excluded (strict)
+            p1d(10, 1, 0, 0, 16), // closest descendant
+            p1d(10, 1, 1, 0, 24), // shadowed by 10.1/16
+            p1d(11, 0, 0, 0, 8),  // not a descendant
+            p1d(10, 2, 2, 0, 24), // closest descendant (no /16 of it in P)
         ];
         let mut g = g_set(&hier, &p, &set);
         g.sort();
@@ -314,7 +320,7 @@ mod tests {
     #[test]
     fn exact_hhh_single_flow() {
         let hier = SrcHierarchy;
-        let items: Vec<u32> = std::iter::repeat(addr(181, 7, 20, 6)).take(100).collect();
+        let items: Vec<u32> = std::iter::repeat_n(addr(181, 7, 20, 6), 100).collect();
         let hhh = exact_hhh(&hier, &items, 50.0);
         // The fully specified flow absorbs everything; ancestors have zero
         // conditioned frequency.
@@ -359,11 +365,23 @@ mod tests {
         let hier = SrcHierarchy;
         let mut rng = StdRng::seed_from_u64(5);
         let items: Vec<u32> = (0..2000)
-            .map(|_| addr(10, rng.gen_range(0..4), rng.gen_range(0..4), rng.gen_range(0..8)))
+            .map(|_| {
+                addr(
+                    10,
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..8),
+                )
+            })
             .collect();
         let oracle = ExactPrefixOracle::from_items(&hier, items.iter().copied());
         let threshold = 150.0;
-        let hhh = compute_hhh(&hier, &oracle, &oracle.prefixes(), HhhParams::exact(threshold));
+        let hhh = compute_hhh(
+            &hier,
+            &oracle,
+            &oracle.prefixes(),
+            HhhParams::exact(threshold),
+        );
         // Coverage check from first principles: any prefix not selected has
         // exact conditioned frequency below the threshold.
         for p in oracle.prefixes() {
@@ -392,7 +410,12 @@ mod tests {
             .collect();
         let oracle = ExactPrefixOracle::from_items(&hier, items.iter().copied());
         let threshold = 200.0;
-        let hhh = compute_hhh(&hier, &oracle, &oracle.prefixes(), HhhParams::exact(threshold));
+        let hhh = compute_hhh(
+            &hier,
+            &oracle,
+            &oracle.prefixes(),
+            HhhParams::exact(threshold),
+        );
         assert!(!hhh.is_empty());
         for p in oracle.prefixes() {
             if !hhh.contains(&p) {

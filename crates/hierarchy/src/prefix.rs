@@ -64,7 +64,10 @@ impl Prefix1D {
         self.addr
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits. (`len` here is CIDR notation, not a container
+    /// length, so there is deliberately no `is_empty`; `is_root` covers the
+    /// zero-length case.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

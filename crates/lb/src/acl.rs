@@ -106,13 +106,10 @@ impl AclTable {
                 window,
             } => {
                 let evaluated = self.evaluated;
-                let state = self
-                    .rate_state
-                    .entry(prefix)
-                    .or_insert_with(|| RateState {
-                        admitted: 0,
-                        window_start: evaluated,
-                    });
+                let state = self.rate_state.entry(prefix).or_insert_with(|| RateState {
+                    admitted: 0,
+                    window_start: evaluated,
+                });
                 if evaluated - state.window_start >= window {
                     state.window_start = evaluated;
                     state.admitted = 0;

@@ -110,14 +110,13 @@ impl BackendPool {
                     }
                 }
             }
-            DispatchStrategy::LeastConnections => {
-                self.backends
-                    .iter()
-                    .filter(|b| b.healthy)
-                    .min_by_key(|b| b.active)
-                    .map(|b| b.id)
-                    .expect("at least one healthy backend")
-            }
+            DispatchStrategy::LeastConnections => self
+                .backends
+                .iter()
+                .filter(|b| b.healthy)
+                .min_by_key(|b| b.active)
+                .map(|b| b.id)
+                .expect("at least one healthy backend"),
         };
         let b = &mut self.backends[id];
         b.active += 1;

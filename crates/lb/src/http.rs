@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn only_served_requests_reach_backends() {
-        assert!(RequestOutcome::Served { backend: 0, status: 200 }.reached_backend());
+        assert!(RequestOutcome::Served {
+            backend: 0,
+            status: 200
+        }
+        .reached_backend());
         assert!(!RequestOutcome::Denied.reached_backend());
         assert!(!RequestOutcome::Tarpitted.reached_backend());
         assert!(!RequestOutcome::RateLimited.reached_backend());

@@ -66,7 +66,11 @@ impl Mitigator {
     /// Removes rules for prefixes that are no longer detected (e.g. the flood
     /// stopped and the window slid past it). Returns how many rules were
     /// removed.
-    pub fn revoke_absent(&self, still_detected: &[Prefix1D], proxies: &mut [LoadBalancer]) -> usize {
+    pub fn revoke_absent(
+        &self,
+        still_detected: &[Prefix1D],
+        proxies: &mut [LoadBalancer],
+    ) -> usize {
         let keep: std::collections::HashSet<&Prefix1D> = still_detected.iter().collect();
         let mut removed = 0;
         for proxy in proxies.iter_mut() {
@@ -97,7 +101,15 @@ mod tests {
     fn proxies(n: usize) -> Vec<LoadBalancer> {
         (0..n)
             .map(|id| {
-                LoadBalancer::new(id, 2, CommMethod::Sample, 1.0, WireFormat::tcp_src(), 100, id as u64)
+                LoadBalancer::new(
+                    id,
+                    2,
+                    CommMethod::Sample,
+                    1.0,
+                    WireFormat::tcp_src(),
+                    100,
+                    id as u64,
+                )
             })
             .collect()
     }

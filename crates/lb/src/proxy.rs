@@ -151,7 +151,15 @@ mod tests {
     }
 
     fn proxy() -> LoadBalancer {
-        LoadBalancer::new(0, 3, CommMethod::Batch(10), 8.0, WireFormat::tcp_src(), 1_000, 1)
+        LoadBalancer::new(
+            0,
+            3,
+            CommMethod::Batch(10),
+            8.0,
+            WireFormat::tcp_src(),
+            1_000,
+            1,
+        )
     }
 
     #[test]
@@ -176,8 +184,10 @@ mod tests {
     #[test]
     fn deny_rule_blocks_but_measurement_continues() {
         let mut lb = proxy();
-        lb.acl_mut()
-            .insert(Prefix1D::new(addr(66, 0, 0, 0), 8), crate::acl::AclAction::Deny);
+        lb.acl_mut().insert(
+            Prefix1D::new(addr(66, 0, 0, 0), 8),
+            crate::acl::AclAction::Deny,
+        );
         let mut reports = 0;
         for i in 0..2_000u32 {
             let src = addr(66, (i % 250) as u8, 1, 1);
@@ -189,7 +199,10 @@ mod tests {
         }
         assert_eq!(lb.stats().denied, 2_000);
         assert_eq!(lb.stats().served, 0);
-        assert!(reports > 0, "denied traffic must still be measured/reported");
+        assert!(
+            reports > 0,
+            "denied traffic must still be measured/reported"
+        );
     }
 
     #[test]
@@ -203,7 +216,11 @@ mod tests {
             },
         );
         for i in 0..100u32 {
-            lb.handle(HttpRequest::get(addr(50, 0, 0, i as u8), addr(9, 9, 9, 9), 0));
+            lb.handle(HttpRequest::get(
+                addr(50, 0, 0, i as u8),
+                addr(9, 9, 9, 9),
+                0,
+            ));
         }
         assert_eq!(lb.stats().served, 5);
         assert_eq!(lb.stats().rate_limited, 95);

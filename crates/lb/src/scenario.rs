@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use memento_hierarchy::{Prefix1D, SrcHierarchy};
 use memento_netwide::{
-    AggregationController, CommMethod, DHMementoController, Report, WireFormat,
+    AggregationController, CommMethod, DHMementoController, HhhController, WireFormat,
 };
 use memento_sketches::ExactWindow;
 use memento_traces::{FloodScenario, TraceGenerator, TracePreset};
@@ -146,31 +146,6 @@ impl FloodExperimentResult {
     }
 }
 
-enum Controller {
-    Memento(DHMementoController<SrcHierarchy>),
-    Aggregation(AggregationController<SrcHierarchy>),
-}
-
-impl Controller {
-    fn receive(&mut self, report: &Report<u32>) {
-        match self {
-            Controller::Memento(c) => c.receive(report),
-            Controller::Aggregation(c) => c.receive(report),
-        }
-    }
-
-    /// The estimate the threshold-based mitigation compares against: the
-    /// unbiased point estimate for the Memento-backed controller (so coarse
-    /// sampling does not trip thresholds early), the snapshot sum for
-    /// Aggregation.
-    fn detection_estimate(&self, prefix: &Prefix1D) -> f64 {
-        match self {
-            Controller::Memento(c) => c.point_estimate(prefix),
-            Controller::Aggregation(c) => c.estimate(prefix),
-        }
-    }
-}
-
 /// The flood experiment driver.
 pub struct FloodExperiment {
     config: FloodExperimentConfig,
@@ -207,12 +182,17 @@ impl FloodExperiment {
             })
             .collect();
 
-        // Controller.
-        let mut controller = match cfg.method {
+        // Controller, behind the network-wide trait object: the experiment
+        // driver is identical for every controller variant. The mitigation
+        // thresholds compare against `point_estimate` — the approximately
+        // unbiased estimate for the Memento-backed controller (so coarse
+        // sampling does not trip thresholds early), which degrades to the
+        // snapshot sum for Aggregation.
+        let mut controller: Box<dyn HhhController<SrcHierarchy>> = match cfg.method {
             CommMethod::Aggregation => {
-                Controller::Aggregation(AggregationController::new(SrcHierarchy, cfg.window))
+                Box::new(AggregationController::new(SrcHierarchy, cfg.window))
             }
-            _ => Controller::Memento(DHMementoController::new(
+            _ => Box::new(DHMementoController::new(
                 SrcHierarchy,
                 cfg.counters,
                 cfg.window,
@@ -269,7 +249,7 @@ impl FloodExperiment {
                 // frequency crossed the threshold.
                 let mut newly_detected = Vec::new();
                 for (p, &j) in &subnet_index {
-                    if detection_time[j].is_none() && controller.detection_estimate(p) >= threshold {
+                    if detection_time[j].is_none() && controller.point_estimate(p) >= threshold {
                         detection_time[j] = Some(i);
                         newly_detected.push(*p);
                     }
@@ -367,7 +347,10 @@ mod tests {
             .zip(&result.opt_detection_time)
             .filter(|(t, o)| t.is_some() && o.is_none())
             .count();
-        assert!(false_positives <= 4, "{false_positives} subnet false positives");
+        assert!(
+            false_positives <= 4,
+            "{false_positives} subnet false positives"
+        );
         assert!(result.mean_delay_vs_opt() >= 0.0);
     }
 
@@ -403,7 +386,10 @@ mod tests {
     fn sample_detects_but_no_better_than_batch() {
         let batch = FloodExperiment::new(small_config(CommMethod::Batch(44))).run();
         let sample = FloodExperiment::new(small_config(CommMethod::Sample)).run();
-        assert!(sample.detected_subnets() > 0, "sample never detected anything");
+        assert!(
+            sample.detected_subnets() > 0,
+            "sample never detected anything"
+        );
         assert!(
             batch.detected_subnets() >= sample.detected_subnets().saturating_sub(2),
             "batch detected {} vs sample {}",

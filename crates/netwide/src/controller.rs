@@ -17,9 +17,38 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use memento_core::{HMemento, Memento};
-use memento_hierarchy::{compute_hhh, Hierarchy, HhhParams, PrefixEstimator};
+use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 
 use crate::message::{Report, ReportPayload};
+
+/// The controller-side interface the network simulator and the mitigation
+/// loop drive: ingest reports, answer prefix queries. Implemented by the
+/// D-H-Memento controller and the idealized Aggregation baseline, so
+/// consumers hold one `Box<dyn HhhController<Hi>>` instead of dispatching
+/// over an enum of concrete controllers.
+pub trait HhhController<Hi: Hierarchy>: std::fmt::Debug
+where
+    Hi::Prefix: Hash,
+{
+    /// Short stable name used in output and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Ingests one report from a measurement point.
+    fn receive(&mut self, report: &Report<Hi::Item>);
+
+    /// Estimated network-wide window frequency of a prefix (upper bound).
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64;
+
+    /// Approximately unbiased point estimate of a prefix's network-wide
+    /// window frequency (what threshold-based mitigation compares against).
+    /// Defaults to [`estimate`](Self::estimate) for exact controllers.
+    fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.estimate(prefix)
+    }
+
+    /// The network-wide HHH set for threshold `θ`.
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix>;
+}
 
 /// Network-wide heavy-hitters controller (D-Memento).
 #[derive(Debug, Clone)]
@@ -158,6 +187,31 @@ where
     }
 }
 
+impl<Hi: Hierarchy> HhhController<Hi> for DHMementoController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "d-h-memento"
+    }
+
+    fn receive(&mut self, report: &Report<Hi::Item>) {
+        DHMementoController::receive(self, report);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        DHMementoController::estimate(self, prefix)
+    }
+
+    fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        DHMementoController::point_estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        DHMementoController::output(self, theta)
+    }
+}
+
 /// Idealized Aggregation controller: keeps the latest exact snapshot of every
 /// measurement point and merges them without loss.
 #[derive(Debug, Clone)]
@@ -253,6 +307,27 @@ where
     }
 }
 
+impl<Hi: Hierarchy> HhhController<Hi> for AggregationController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn name(&self) -> &'static str {
+        "aggregation"
+    }
+
+    fn receive(&mut self, report: &Report<Hi::Item>) {
+        AggregationController::receive(self, report);
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        AggregationController::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        AggregationController::output(self, theta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,12 +393,27 @@ mod tests {
         let mut ctrl = AggregationController::new(SrcHierarchy, 1_000);
         let p8 = Prefix1D::new(addr(10, 0, 0, 0), 8);
         // Point 0 reports 10.1.1.1 x 100, point 1 reports 10.2.2.2 x 50.
-        ctrl.receive(&Report::aggregation(0, 100, vec![(addr(10, 1, 1, 1), 100)], &wire));
-        ctrl.receive(&Report::aggregation(1, 50, vec![(addr(10, 2, 2, 2), 50)], &wire));
+        ctrl.receive(&Report::aggregation(
+            0,
+            100,
+            vec![(addr(10, 1, 1, 1), 100)],
+            &wire,
+        ));
+        ctrl.receive(&Report::aggregation(
+            1,
+            50,
+            vec![(addr(10, 2, 2, 2), 50)],
+            &wire,
+        ));
         assert_eq!(ctrl.reporting_points(), 2);
         assert_eq!(ctrl.estimate(&p8), 150.0);
         // Point 0 sends a fresh snapshot replacing the old one.
-        ctrl.receive(&Report::aggregation(0, 80, vec![(addr(10, 1, 1, 1), 20)], &wire));
+        ctrl.receive(&Report::aggregation(
+            0,
+            80,
+            vec![(addr(10, 1, 1, 1), 20)],
+            &wire,
+        ));
         assert_eq!(ctrl.estimate(&p8), 70.0);
         // HHH output: the 50-packet host reaches the threshold (0.05·1000);
         // the /8's residual after removing it is only 20, so it is not

@@ -31,7 +31,9 @@ pub mod point;
 pub mod simulator;
 
 pub use comm::CommMethod;
-pub use controller::{AggregationController, DHMementoController, DMementoController};
+pub use controller::{
+    AggregationController, DHMementoController, DMementoController, HhhController,
+};
 pub use message::{Report, ReportPayload, WireFormat};
 pub use point::MeasurementPoint;
 pub use simulator::{NetworkSimulator, SimConfig, SimMetrics};

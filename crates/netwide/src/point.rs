@@ -164,7 +164,7 @@ impl<T: Copy + Eq + Hash> MeasurementPoint<T> {
                 if self.credit >= cost {
                     self.credit -= cost;
                     let mut all: Vec<(T, u64)> = window.iter().map(|(k, c)| (*k, c)).collect();
-                    all.sort_by(|a, b| b.1.cmp(&a.1));
+                    all.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
                     all.truncate(self.aggregation_entries);
                     let covered = std::mem::take(&mut self.covered);
                     Some(Report::aggregation(self.id, covered, all, &self.wire))
@@ -199,7 +199,11 @@ mod tests {
         // tau = 1/68, so ~735 reports over 50k packets.
         assert!((600..900).contains(&reports), "reports = {reports}");
         // Budget compliance within one report of slack.
-        assert!(p.bytes_per_packet() <= 1.1, "bpp = {}", p.bytes_per_packet());
+        assert!(
+            p.bytes_per_packet() <= 1.1,
+            "bpp = {}",
+            p.bytes_per_packet()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use memento_baselines::ExactWindowHhh;
 use memento_hierarchy::Hierarchy;
 
 use crate::comm::CommMethod;
-use crate::controller::{AggregationController, DHMementoController};
+use crate::controller::{AggregationController, DHMementoController, HhhController};
 use crate::message::WireFormat;
 use crate::point::MeasurementPoint;
 
@@ -51,19 +51,13 @@ impl Default for SimConfig {
     }
 }
 
-/// The controller variant running in a simulation.
-#[derive(Debug, Clone)]
-enum ControllerKind<Hi: Hierarchy>
-where
-    Hi::Prefix: Hash,
-{
-    Memento(DHMementoController<Hi>),
-    Aggregation(AggregationController<Hi>),
-}
-
 /// A deterministic network-wide measurement simulation.
-#[derive(Debug, Clone)]
-pub struct NetworkSimulator<Hi: Hierarchy>
+///
+/// The controller is held as a `Box<dyn HhhController>` — the simulator's
+/// per-packet driver is the same for every controller variant; picking
+/// D-H-Memento vs. the Aggregation baseline happens once, at construction.
+#[derive(Debug)]
+pub struct NetworkSimulator<Hi: Hierarchy + 'static>
 where
     Hi::Prefix: Hash,
 {
@@ -71,7 +65,7 @@ where
     config: SimConfig,
     wire: WireFormat,
     points: Vec<MeasurementPoint<Hi::Item>>,
-    controller: ControllerKind<Hi>,
+    controller: Box<dyn HhhController<Hi>>,
     oracle: ExactWindowHhh<Hi>,
     assign_rng: StdRng,
     packets: u64,
@@ -79,7 +73,7 @@ where
     bytes: f64,
 }
 
-impl<Hi: Hierarchy> NetworkSimulator<Hi>
+impl<Hi: Hierarchy + 'static> NetworkSimulator<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -91,14 +85,21 @@ where
         let local_window = (config.window / config.points).max(1);
         let points = (0..config.points)
             .map(|id| {
-                MeasurementPoint::new(id, config.method, config.budget, wire, local_window, config.seed)
+                MeasurementPoint::new(
+                    id,
+                    config.method,
+                    config.budget,
+                    wire,
+                    local_window,
+                    config.seed,
+                )
             })
             .collect();
-        let controller = match config.method {
+        let controller: Box<dyn HhhController<Hi>> = match config.method {
             CommMethod::Aggregation => {
-                ControllerKind::Aggregation(AggregationController::new(hier.clone(), config.window))
+                Box::new(AggregationController::new(hier.clone(), config.window))
             }
-            _ => ControllerKind::Memento(DHMementoController::new(
+            _ => Box::new(DHMementoController::new(
                 hier.clone(),
                 config.counters,
                 config.window,
@@ -172,19 +173,18 @@ where
         if let Some(report) = self.points[idx].process(item) {
             self.bytes += report.bytes;
             self.reports += 1;
-            match &mut self.controller {
-                ControllerKind::Memento(c) => c.receive(&report),
-                ControllerKind::Aggregation(c) => c.receive(&report),
-            }
+            self.controller.receive(&report);
         }
+    }
+
+    /// The controller running in this simulation.
+    pub fn controller(&self) -> &dyn HhhController<Hi> {
+        self.controller.as_ref()
     }
 
     /// The controller's estimate of a prefix's network-wide window frequency.
     pub fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        match &self.controller {
-            ControllerKind::Memento(c) => c.estimate(prefix),
-            ControllerKind::Aggregation(c) => c.estimate(prefix),
-        }
+        self.controller.estimate(prefix)
     }
 
     /// The exact network-wide window frequency of a prefix.
@@ -194,10 +194,7 @@ where
 
     /// The controller's HHH set for threshold `θ`.
     pub fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        match &self.controller {
-            ControllerKind::Memento(c) => c.output(theta),
-            ControllerKind::Aggregation(c) => c.output(theta),
-        }
+        self.controller.output(theta)
     }
 
     /// The exact (OPT) HHH set for threshold `θ`.
@@ -291,7 +288,11 @@ mod tests {
     #[test]
     fn batch_respects_budget_and_tracks_truth() {
         let (sim, metrics) = run(CommMethod::Batch(44), 60_000);
-        assert!(sim.bytes_per_packet() <= 1.05, "budget exceeded: {}", sim.bytes_per_packet());
+        assert!(
+            sim.bytes_per_packet() <= 1.05,
+            "budget exceeded: {}",
+            sim.bytes_per_packet()
+        );
         assert!(sim.reports() > 0);
         assert!(metrics.count() > 0);
         // Estimates must be in the right order of magnitude for /8 subnets.
@@ -339,7 +340,9 @@ mod tests {
         // side of reporting more.
         for p in &exact {
             assert!(
-                approx.iter().any(|q| q == p || sim.hierarchy().generalizes(q, p)),
+                approx
+                    .iter()
+                    .any(|q| q == p || sim.hierarchy().generalizes(q, p)),
                 "exact HHH {p} not covered by {approx:?}"
             );
         }

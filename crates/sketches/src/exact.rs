@@ -55,7 +55,7 @@ impl<K: Eq + Hash + Clone> ExactInterval<K> {
             .filter(|&(_, &c)| c >= threshold)
             .map(|(k, &c)| (k.clone(), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 
@@ -139,7 +139,7 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
             .filter(|&(_, &c)| c >= threshold)
             .map(|(k, &c)| (k.clone(), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 
@@ -151,6 +151,15 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
     /// Number of distinct keys in the window.
     pub fn distinct(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Approximate heap footprint in bytes: the ring of the last `W` keys
+    /// plus the count table — the linear-in-`W` cost the paper's approximate
+    /// algorithms avoid.
+    pub fn space_bytes(&self) -> usize {
+        self.window * std::mem::size_of::<K>()
+            + self.counts.len() * (std::mem::size_of::<K>() + 2 * std::mem::size_of::<u64>())
+            + std::mem::size_of::<Self>()
     }
 }
 

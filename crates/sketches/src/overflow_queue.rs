@@ -71,10 +71,7 @@ impl<K> OverflowQueue<K> {
     /// de-amortized draining; callers must still retire them to keep the
     /// overflow table exact).
     pub fn rotate(&mut self) -> VecDeque<K> {
-        let dropped = self
-            .queues
-            .pop_front()
-            .expect("queue list is never empty");
+        let dropped = self.queues.pop_front().expect("queue list is never empty");
         self.queues.push_back(VecDeque::new());
         dropped
     }
@@ -92,6 +89,14 @@ impl<K> OverflowQueue<K> {
     /// Number of identifiers queued in the oldest tracked block.
     pub fn oldest_len(&self) -> usize {
         self.queues.front().map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Approximate heap footprint in bytes: queued identifiers plus the
+    /// per-block queue headers.
+    pub fn space_bytes(&self) -> usize {
+        self.pending() * std::mem::size_of::<K>()
+            + self.queues.len() * std::mem::size_of::<VecDeque<K>>()
+            + std::mem::size_of::<Self>()
     }
 
     /// Clears every queue (used when the enclosing algorithm is reset).

@@ -50,7 +50,10 @@ impl TableSampler {
 
     /// Creates a sampler with an explicit table size.
     pub fn with_table_size(tau: f64, table_size: usize, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1], got {tau}");
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "tau must be in [0,1], got {tau}"
+        );
         assert!(table_size > 0, "table size must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let table = (0..table_size).map(|_| rng.gen::<u32>()).collect();

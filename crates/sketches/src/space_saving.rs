@@ -144,8 +144,16 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
                 error,
             })
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|c| std::cmp::Reverse(c.count));
         out
+    }
+
+    /// Approximate heap footprint in bytes: one slot per counter (key,
+    /// count, error, bucket link) plus the index. Used by the workspace's
+    /// `space_bytes` accounting to compare algorithm memory at equal error.
+    pub fn space_bytes(&self) -> usize {
+        self.summary.capacity() * (std::mem::size_of::<K>() + 4 * std::mem::size_of::<u64>())
+            + std::mem::size_of::<Self>()
     }
 
     /// Snapshot of every counter (used for merging and for the Aggregation
@@ -180,7 +188,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             }
         }
         let mut all: Vec<_> = combined.into_iter().collect();
-        all.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+        all.sort_by_key(|&(_, (count, _))| std::cmp::Reverse(count));
         all.truncate(capacity);
         // Rebuild a SpaceSaving holding the merged counts. We bypass `add` by
         // re-inserting each key `count` times worth of structure: since the
@@ -249,7 +257,7 @@ mod tests {
         ss.add("x");
         ss.add("x"); // x=4
         ss.add("y"); // y=1
-        // paper's own example: new flow y with min counter 4 -> value 5
+                     // paper's own example: new flow y with min counter 4 -> value 5
         let mut ss2 = SpaceSaving::new(1);
         for _ in 0..4 {
             ss2.add("x");

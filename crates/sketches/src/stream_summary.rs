@@ -318,7 +318,10 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
         for (key, &slot) in &self.index {
             assert!(self.slots[slot].key.as_ref() == Some(key));
         }
-        assert_eq!(self.index.len(), self.slots.iter().filter(|s| s.key.is_some()).count());
+        assert_eq!(
+            self.index.len(),
+            self.slots.iter().filter(|s| s.key.is_some()).count()
+        );
         // Bucket list is strictly increasing and every child belongs to it.
         let mut seen_slots = 0usize;
         let mut b = self.min_bucket;

@@ -51,7 +51,10 @@ pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<Vec<Packet>> {
 
 fn parse_line(line: &str) -> Option<Packet> {
     let (src, dst) = line.split_once(',')?;
-    Some(Packet::new(parse_addr(src.trim())?, parse_addr(dst.trim())?))
+    Some(Packet::new(
+        parse_addr(src.trim())?,
+        parse_addr(dst.trim())?,
+    ))
 }
 
 fn parse_addr(s: &str) -> Option<u32> {

@@ -212,7 +212,11 @@ mod tests {
             top10 as f64 / total as f64
         );
         // And still many distinct flows must appear.
-        assert!(counts.len() > 100, "too few distinct flows: {}", counts.len());
+        assert!(
+            counts.len() > 100,
+            "too few distinct flows: {}",
+            counts.len()
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! cargo run --release --example ddos_mitigation
 //! ```
 
-use memento::lb::{FloodExperiment, FloodExperimentConfig};
 use memento::lb::scenario::FloodConfig;
+use memento::lb::{FloodExperiment, FloodExperimentConfig};
 use memento::{CommMethod, TracePreset};
 
 fn main() {
@@ -44,7 +44,11 @@ fn main() {
         base.flood.start
     );
 
-    for method in [CommMethod::Batch(44), CommMethod::Sample, CommMethod::Aggregation] {
+    for method in [
+        CommMethod::Batch(44),
+        CommMethod::Sample,
+        CommMethod::Aggregation,
+    ] {
         let mut cfg = base.clone();
         cfg.method = method;
         let result = FloodExperiment::new(cfg).run();
@@ -64,7 +68,10 @@ fn main() {
             "  mean detection delay vs OPT: {:.0} packets",
             result.mean_delay_vs_opt()
         );
-        println!("  control bandwidth used: {:.3} bytes/packet", result.bytes_per_packet);
+        println!(
+            "  control bandwidth used: {:.3} bytes/packet",
+            result.bytes_per_packet
+        );
         print!("  detection timeline (packets -> detected subnets): ");
         for (i, detected) in result
             .detection_curve

@@ -10,7 +10,9 @@
 //! cargo run --release --example hhh_monitor
 //! ```
 
-use memento::{ExactWindowHhh, HMemento, SrcDstHierarchy, SrcHierarchy, TraceGenerator, TracePreset};
+use memento::{
+    ExactWindowHhh, HMemento, SrcDstHierarchy, SrcHierarchy, TraceGenerator, TracePreset,
+};
 
 fn main() {
     let window = 50_000;
@@ -43,7 +45,10 @@ fn main() {
                 let marker = if exact.contains(p) { ' ' } else { '*' };
                 println!("  {marker} {p}  ~{:.0} packets", hhh_1d.estimate(p));
             }
-            println!("  ({} exact HHHs, * marks prefixes only the approximation reports)", exact.len());
+            println!(
+                "  ({} exact HHHs, * marks prefixes only the approximation reports)",
+                exact.len()
+            );
             let missed: Vec<_> = exact.iter().filter(|p| !approx.contains(p)).collect();
             if missed.is_empty() {
                 println!("  no exact HHH was missed");
@@ -52,7 +57,10 @@ fn main() {
             }
 
             let approx2 = hhh_2d.output(theta);
-            println!("source x destination HHH (top {} pairs):", approx2.len().min(5));
+            println!(
+                "source x destination HHH (top {} pairs):",
+                approx2.len().min(5)
+            );
             for p in approx2.iter().take(5) {
                 println!("    {p}  ~{:.0} packets", hhh_2d.estimate(p));
             }

@@ -81,6 +81,8 @@ fn main() {
         );
     }
 
-    println!("\nBatch (especially at the analytic b*) delivers the best accuracy for the same budget;");
+    println!(
+        "\nBatch (especially at the analytic b*) delivers the best accuracy for the same budget;"
+    );
     println!("Sample wastes most of its budget on headers; Aggregation reports too rarely.");
 }

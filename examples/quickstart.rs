@@ -37,7 +37,10 @@ fn main() {
     // Compare the three on the true top-10 flows of the current window.
     let mut top = exact.heavy_hitters(0);
     top.truncate(10);
-    println!("\n{:>20} {:>12} {:>12} {:>12}", "flow", "exact", "wcss", "memento");
+    println!(
+        "\n{:>20} {:>12} {:>12} {:>12}",
+        "flow", "exact", "wcss", "memento"
+    );
     for (flow, real) in &top {
         println!(
             "{:>20x} {:>12} {:>12.0} {:>12.0}",
@@ -51,9 +54,15 @@ fn main() {
     // Report the heavy hitters above 1% of the window.
     let threshold = 0.01 * window as f64;
     let hh = memento.heavy_hitters(threshold);
-    println!("\nflows above 1% of the window according to Memento: {}", hh.len());
+    println!(
+        "\nflows above 1% of the window according to Memento: {}",
+        hh.len()
+    );
     for (flow, est) in hh.iter().take(5) {
-        println!("  flow {flow:x}: ~{est:.0} packets (exact {})", exact.query(flow));
+        println!(
+            "  flow {flow:x}: ~{est:.0} packets (exact {})",
+            exact.query(flow)
+        );
     }
 
     println!(

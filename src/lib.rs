@@ -43,7 +43,8 @@ pub use memento_sketches as sketches;
 pub use memento_traces as traces;
 
 pub use memento_baselines::{ExactWindowHhh, Mst, Rhhh, WindowMst};
-pub use memento_core::{analysis, HMemento, Memento, Wcss};
+pub use memento_core::{analysis, traits, HMemento, Memento, Wcss};
+pub use memento_core::{HhhAlgorithm, SlidingWindowEstimator};
 pub use memento_hierarchy::{Hierarchy, Prefix1D, Prefix2D, SrcDstHierarchy, SrcHierarchy};
 pub use memento_netwide::{CommMethod, DHMementoController, DMementoController, NetworkSimulator};
 pub use memento_traces::{Packet, TraceGenerator, TracePreset};

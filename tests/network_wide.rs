@@ -7,7 +7,11 @@ use memento::lb::{FloodExperiment, FloodExperimentConfig};
 use memento::netwide::{NetworkSimulator, SimConfig, SimMetrics, WireFormat};
 use memento::{CommMethod, SrcHierarchy, TraceGenerator, TracePreset};
 
-fn run_sim(method: CommMethod, budget: f64, packets: usize) -> (NetworkSimulator<SrcHierarchy>, SimMetrics) {
+fn run_sim(
+    method: CommMethod,
+    budget: f64,
+    packets: usize,
+) -> (NetworkSimulator<SrcHierarchy>, SimMetrics) {
     let config = SimConfig {
         points: 10,
         window: 20_000,
@@ -37,7 +41,11 @@ fn run_sim(method: CommMethod, budget: f64, packets: usize) -> (NetworkSimulator
 #[test]
 fn netwide_methods_respect_budget_and_track_truth() {
     let mut rmse = std::collections::HashMap::new();
-    for method in [CommMethod::Aggregation, CommMethod::Sample, CommMethod::Batch(44)] {
+    for method in [
+        CommMethod::Aggregation,
+        CommMethod::Sample,
+        CommMethod::Batch(44),
+    ] {
         let (sim, metrics) = run_sim(method, 1.0, 60_000);
         assert!(
             sim.bytes_per_packet() <= 1.1,

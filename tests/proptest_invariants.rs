@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use memento::hierarchy::{exact_hhh, Hierarchy};
 use memento::sketches::ExactWindow;
+use memento::traits::SlidingWindowEstimator;
 use memento::{HMemento, Memento, SrcHierarchy, Wcss};
 use proptest::prelude::*;
 
@@ -101,6 +102,82 @@ proptest! {
         if !exact.is_empty() {
             prop_assert!(!output.is_empty(), "exact HHHs exist but output is empty");
         }
+    }
+
+    /// `update_batch` is *exactly* equivalent to repeated `update` on the
+    /// deterministic paths (WCSS = Memento with τ = 1, and the exact window
+    /// counter), for arbitrary streams and arbitrary batch splits.
+    #[test]
+    fn update_batch_equals_repeated_update_on_deterministic_paths(
+        stream in prop::collection::vec(0u64..30, 50..1500),
+        window in 32usize..256,
+        counters in 8usize..64,
+        chunk in 1usize..97,
+    ) {
+        // WCSS driven per-packet vs. in arbitrary chunks.
+        let mut one_by_one = Wcss::new(counters, window);
+        let mut batched = Wcss::new(counters, window);
+        for &x in &stream {
+            SlidingWindowEstimator::update(&mut one_by_one, x);
+        }
+        for part in stream.chunks(chunk) {
+            batched.update_batch(part);
+        }
+        prop_assert_eq!(
+            SlidingWindowEstimator::processed(&one_by_one),
+            SlidingWindowEstimator::processed(&batched)
+        );
+        for flow in 0u64..30 {
+            prop_assert_eq!(
+                one_by_one.estimate(&flow).to_bits(),
+                batched.estimate(&flow).to_bits(),
+                "WCSS batch/per-packet estimates diverge for flow {}", flow
+            );
+        }
+
+        // Exact window: the provided (default) batch path.
+        let mut exact_one: ExactWindow<u64> = ExactWindow::new(window);
+        let mut exact_batch: ExactWindow<u64> = ExactWindow::new(window);
+        for &x in &stream {
+            SlidingWindowEstimator::update(&mut exact_one, x);
+        }
+        for part in stream.chunks(chunk) {
+            exact_batch.update_batch(part);
+        }
+        for flow in 0u64..30 {
+            prop_assert_eq!(exact_one.query(&flow), exact_batch.query(&flow));
+        }
+    }
+
+    /// The geometric-skip batch path preserves Memento's expected Full-update
+    /// rate τ within statistical tolerance, independent of how the stream is
+    /// split into batches, and slides the window identically (processed
+    /// counts always match; frame/block positions are exercised by the
+    /// deterministic test above).
+    #[test]
+    fn memento_batch_path_preserves_full_update_rate(
+        tau_exp in 1u32..7,
+        chunk in 1usize..613,
+        seed in 0u64..1000,
+    ) {
+        let tau = 2f64.powi(-(tau_exp as i32));
+        let n = 60_000usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
+        let mut memento: Memento<u64> = Memento::new(64, 8_000, tau, seed);
+        for part in keys.chunks(chunk) {
+            memento.update_batch(part);
+        }
+        prop_assert_eq!(Memento::processed(&memento), n as u64);
+        let expected = tau * n as f64;
+        // Binomial std is sqrt(n·τ·(1−τ)); allow 5 sigma plus slack for the
+        // discretized geometric draws.
+        let tolerance = 5.0 * (n as f64 * tau * (1.0 - tau)).sqrt() + 0.02 * expected + 3.0;
+        let got = memento.full_updates() as f64;
+        prop_assert!(
+            (got - expected).abs() <= tolerance,
+            "full updates {} too far from expected {} (tau {}, chunk {}, tol {})",
+            got, expected, tau, chunk, tolerance
+        );
     }
 
     /// The HHH set never contains two prefixes where the deeper one fully

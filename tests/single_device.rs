@@ -117,7 +117,10 @@ fn all_hhh_algorithms_find_the_heavy_subnets() {
     }
 
     let exact = oracle.output(theta);
-    assert!(!exact.is_empty(), "trace has no heavy subnets at theta={theta}");
+    assert!(
+        !exact.is_empty(),
+        "trace has no heavy subnets at theta={theta}"
+    );
     let threshold = theta * window as f64;
 
     let check = |name: &str, output: &[Prefix1D], slack: f64| {
@@ -135,7 +138,11 @@ fn all_hhh_algorithms_find_the_heavy_subnets() {
         }
     };
 
-    check("H-Memento", &h_memento.output(theta), h_memento.sampling_slack());
+    check(
+        "H-Memento",
+        &h_memento.output(theta),
+        h_memento.sampling_slack(),
+    );
     check("Baseline", &baseline.output(theta), 0.0);
     check("MST", &mst.output(theta), 0.0);
     check("RHHH", &rhhh.output(theta), rhhh.sampling_slack());
@@ -161,8 +168,8 @@ fn window_algorithms_forget_but_interval_algorithms_remember() {
         baseline.update(src);
         mst.update(src);
     }
-    assert!(h_memento.output(0.2).iter().any(|p| *p == heavy));
-    assert!(baseline.output(0.2).iter().any(|p| *p == heavy));
+    assert!(h_memento.output(0.2).contains(&heavy));
+    assert!(baseline.output(0.2).contains(&heavy));
 
     // Phase 2: three windows of completely different traffic.
     let mut trace = TraceGenerator::new(TracePreset::tiny(), 13);
@@ -176,18 +183,18 @@ fn window_algorithms_forget_but_interval_algorithms_remember() {
         mst.update(src);
     }
     assert!(
-        !h_memento.output(0.2).iter().any(|p| *p == heavy),
+        !h_memento.output(0.2).contains(&heavy),
         "H-Memento failed to forget the stale subnet"
     );
     assert!(
-        !baseline.output(0.2).iter().any(|p| *p == heavy),
+        !baseline.output(0.2).contains(&heavy),
         "Baseline failed to forget the stale subnet"
     );
     // The interval algorithm still sees 25% of its (never reset) interval in
     // the old subnet, so with a threshold of 20% it keeps reporting it —
     // exactly the staleness sliding windows avoid.
     assert!(
-        mst.output(0.2).iter().any(|p| *p == heavy),
+        mst.output(0.2).contains(&heavy),
         "interval MST should still report the stale subnet"
     );
 }
@@ -211,7 +218,10 @@ fn degenerate_traffic_patterns() {
         memento.update(i); // every packet a new flow
     }
     let hh = memento.heavy_hitters(0.1 * window as f64);
-    assert!(hh.is_empty(), "no flow should be heavy in all-distinct traffic");
+    assert!(
+        hh.is_empty(),
+        "no flow should be heavy in all-distinct traffic"
+    );
 
     let hier = SrcHierarchy;
     let mut hm = HMemento::new(hier, 256, window, 1.0, 0.01, 2);
@@ -221,6 +231,9 @@ fn degenerate_traffic_patterns() {
     let hhh = hm.output(0.3);
     // Only coarse prefixes can aggregate scattered traffic.
     for p in &hhh {
-        assert!(hier.depth(p) >= 3, "unexpectedly specific HHH {p} for scattered traffic");
+        assert!(
+            hier.depth(p) >= 3,
+            "unexpectedly specific HHH {p} for scattered traffic"
+        );
     }
 }

@@ -1,0 +1,112 @@
+//! Trait-object smoke test: every sliding-window estimator in the workspace
+//! runs behind `Box<dyn SlidingWindowEstimator<u64>>` over one shared trace
+//! and honours its own advertised error bound, and every HHH algorithm runs
+//! behind `Box<dyn HhhAlgorithm<SrcHierarchy>>` and reports the planted
+//! heavy subnet.
+
+use memento::core::traits::{HhhAlgorithm, SlidingWindowEstimator};
+use memento::sketches::ExactWindow;
+use memento::{
+    ExactWindowHhh, HMemento, Memento, Mst, Prefix1D, Rhhh, SrcHierarchy, TraceGenerator,
+    TracePreset, Wcss, WindowMst,
+};
+
+#[test]
+fn estimator_trait_objects_honour_their_error_bounds() {
+    let window = 20_000;
+    let counters = 512;
+
+    let mut estimators: Vec<Box<dyn SlidingWindowEstimator<u64>>> = vec![
+        Box::new(Memento::new(counters, window, 1.0 / 8.0, 3)),
+        Box::new(Wcss::new(counters, window)),
+        Box::new(ExactWindow::new(window)),
+    ];
+    let mut oracle = ExactWindow::new(window);
+
+    let mut trace = TraceGenerator::new(TracePreset::datacenter(), 17);
+    let packets: Vec<u64> = (0..3 * window)
+        .map(|_| trace.next_packet().flow())
+        .collect();
+
+    for chunk in packets.chunks(4_096) {
+        for est in &mut estimators {
+            est.update_batch(chunk);
+        }
+        for &flow in chunk {
+            oracle.add(flow);
+        }
+    }
+
+    // Every estimator saw every packet...
+    for est in &estimators {
+        assert_eq!(
+            est.processed(),
+            packets.len() as u64,
+            "{} lost packets",
+            est.name()
+        );
+        assert!(est.space_bytes() > 0, "{} reports no memory", est.name());
+    }
+
+    // ...and estimates the window's clearly-heavy flows within its own bound.
+    let heavy: Vec<(u64, u64)> = oracle.heavy_hitters((0.01 * window as f64) as u64);
+    assert!(heavy.len() >= 3, "trace produced too few heavy flows");
+    for est in &estimators {
+        let bound = est.error_bound();
+        assert!(bound.is_finite(), "{} has no finite bound", est.name());
+        for &(flow, real) in &heavy {
+            let err = (est.estimate(&flow) - real as f64).abs();
+            assert!(
+                err <= bound,
+                "{}: flow {flow:x} estimate off by {err}, bound {bound}",
+                est.name()
+            );
+        }
+        // The generic heavy-hitters query must surface the top flow.
+        let top = heavy[0].0;
+        let reported = est.heavy_hitters(0.5 * heavy[0].1 as f64);
+        assert!(
+            reported.iter().any(|(k, _)| *k == top),
+            "{} missed the top flow",
+            est.name()
+        );
+    }
+}
+
+#[test]
+fn hhh_trait_objects_report_the_planted_subnet() {
+    let window = 15_000;
+    let hier = SrcHierarchy;
+
+    let mut algorithms: Vec<Box<dyn HhhAlgorithm<SrcHierarchy>>> = vec![
+        Box::new(HMemento::new(hier, 2_048, window, 0.5, 0.01, 5)),
+        Box::new(WindowMst::new(hier, 512, window)),
+        Box::new(Mst::new(hier, 512)),
+        Box::new(Rhhh::new(hier, 512, 0.5, 0.01, 5)),
+        Box::new(ExactWindowHhh::new(hier, window)),
+    ];
+
+    // 40% of traffic comes from 77.0.0.0/8, the rest is scattered.
+    let mut trace = TraceGenerator::new(TracePreset::tiny(), 23);
+    for i in 0..window as u32 {
+        let src = if i % 5 < 2 {
+            u32::from_be_bytes([77, (i % 251) as u8, (i % 13) as u8, (i % 7) as u8])
+        } else {
+            trace.next_packet().src | 0x0100_0000
+        };
+        for alg in &mut algorithms {
+            alg.update(src);
+        }
+    }
+
+    let heavy = Prefix1D::new(u32::from_be_bytes([77, 0, 0, 0]), 8);
+    for alg in &algorithms {
+        assert!(alg.space_bytes() > 0, "{} reports no memory", alg.name());
+        let output = alg.output(0.2);
+        assert!(
+            output.contains(&heavy),
+            "{} missed the planted /8; output = {output:?}",
+            alg.name()
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] — backed by a real (if
+//! simple) harness: per benchmark it warms up, then runs timed samples until
+//! the measurement budget is spent and reports the median sample time,
+//! throughput and spread on stdout.
+//!
+//! Like real criterion, running under `cargo test` (the harness receives
+//! `--test`) only smoke-runs each closure once so test runs stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an identifier from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; drives the timed iterations.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (cargo bench).
+    Measure,
+    /// Single smoke iteration (cargo test).
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement: collect at least `sample_size` samples, stopping early
+        // only once the measurement budget is exhausted.
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            let enough = self.samples.len() >= self.sample_size;
+            let budget_spent = measure_start.elapsed() >= self.measurement_time;
+            if enough && budget_spent {
+                break;
+            }
+            if self.samples.len() >= 4 * self.sample_size {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = Vec::new();
+        let mode = self.criterion.mode;
+        let mut bencher = Bencher {
+            mode,
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        self.criterion.report(&full, self.throughput, &samples);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness binary is invoked with `--test`;
+        // `cargo bench` passes `--bench`. Smoke-run in the former case.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Measure },
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the stub; kept for API
+    /// parity with `criterion::Criterion::configure_from_args`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mode = self.mode;
+        let mut bencher = Bencher {
+            mode,
+            samples: &mut samples,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        };
+        f(&mut bencher);
+        let id = id.to_string();
+        self.report(&id, None, &samples);
+        self
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>, samples: &[Duration]) {
+        if self.mode == Mode::Smoke {
+            println!("{id:<60} smoke-ok");
+            return;
+        }
+        if samples.is_empty() {
+            println!("{id:<60} no samples");
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let melem = n as f64 / median.as_secs_f64() / 1e6;
+                format!(" thrpt: {melem:>10.3} Melem/s")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let mib = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!(" thrpt: {mib:>10.3} MiB/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<60} time: [{lo:>10.3?} {median:>10.3?} {hi:>10.3?}]{rate} ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Defines a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        let id = BenchmarkId::new("update", "tau_2^-6");
+        assert_eq!(id.to_string(), "update/tau_2^-6");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            samples: &mut samples,
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut acc = 0u64;
+        bencher.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(samples.len() >= 5);
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Smoke,
+            samples: &mut samples,
+            sample_size: 5,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_secs(1),
+        };
+        let mut runs = 0;
+        bencher.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(samples.is_empty());
+    }
+}

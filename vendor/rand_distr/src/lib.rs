@@ -1,0 +1,141 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, providing the [`Zipf`] distribution the synthetic trace generator
+//! draws flow ranks and octet ranks from.
+//!
+//! Sampling is inverse-CDF over a precomputed cumulative table: `O(n)` setup
+//! (once per generator), `O(log n)` per draw, exact probabilities
+//! `P(k) ∝ k^{-s}`. The largest universe in the workspace is 250k flows, so
+//! the table costs ~2 MB at worst — paid once per trace preset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled from a distribution (the `rand_distr` trait).
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements must be at least 1.
+    NumElements,
+    /// The exponent must be finite and non-negative.
+    Exponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NumElements => write!(f, "zipf: number of elements must be >= 1"),
+            ZipfError::Exponent => write!(f, "zipf: exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^{-s}`. Samples are returned as the float rank (matching
+/// `rand_distr::Zipf`, whose callers convert with `as usize`).
+#[derive(Debug, Clone)]
+pub struct Zipf<F> {
+    /// Cumulative probabilities; `cdf[k-1] = P(rank <= k)`.
+    cdf: Vec<f64>,
+    _marker: PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `n` elements with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NumElements);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::Exponent);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of elements `n`.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u; partition_point returns it directly.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+    }
+
+    #[test]
+    fn ranks_stay_in_domain_and_skew_toward_small_ranks() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u64; 100];
+        let n = 200_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+            counts[r as usize - 1] += 1;
+        }
+        // Rank 1 should be about twice as frequent as rank 2 at s = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.25, "ratio = {ratio}");
+        // And the head must dominate the tail.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head as f64 / n as f64 > 0.5);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(8, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts = {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) framework.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its wire-facing types
+//! so that swapping in the real `serde` is a manifest change, but the build
+//! environment has no crates.io access and nothing actually serializes at
+//! runtime. The stub provides marker traits and re-exports the no-op derive
+//! macros from the vendored `serde_derive`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! plain-old-data types; nothing serializes at runtime (the wire-format byte
+//! accounting in `memento-netwide` is analytic). These derives therefore
+//! expand to nothing; the `serde` stub crate provides the matching marker
+//! traits so bounds (if ever written) still name real items.
+
+use proc_macro::TokenStream;
+
+/// Marker derive standing in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive standing in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

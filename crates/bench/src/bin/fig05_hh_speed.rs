@@ -16,6 +16,7 @@ use memento_bench::{
     tau_sweep, COUNTER_SWEEP,
 };
 use memento_core::Memento;
+use memento_shard::ShardedEstimator;
 use memento_traces::{Packet, TracePreset};
 
 fn main() {
@@ -52,6 +53,24 @@ fn main() {
                     "batched".to_string(),
                     format!("{mpps:.2}"),
                 ]);
+                // The multi-core engine behind the same trait and the same
+                // generic driver (sharded rows only at the largest counter
+                // config to keep the sweep's runtime in check).
+                if counters == COUNTER_SWEEP[COUNTER_SWEEP.len() - 1] {
+                    for shards in [2usize, 4] {
+                        let mut sharded: ShardedEstimator<u64> =
+                            ShardedEstimator::memento(shards, counters, window, tau, 5);
+                        let mpps = measure_estimator_batch_mpps(&mut sharded, &flows);
+                        csv_row(&[
+                            preset.name.to_string(),
+                            counters.to_string(),
+                            format!("-{i}"),
+                            format!("{tau:.6}"),
+                            format!("sharded-{shards}"),
+                            format!("{mpps:.2}"),
+                        ]);
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,324 @@
+//! The CI performance gate: a deterministic, laptop-scale throughput and
+//! accuracy smoke harness.
+//!
+//! Measures update throughput (million packets per second) and on-arrival
+//! RMSE for a matrix of algorithm × shard-count configurations on a
+//! synthetic Zipf trace, writes the result as machine-readable JSON
+//! (`BENCH_pr.json`, schema in `memento_bench::gate`), and fails when
+//!
+//! * a configuration's throughput regressed beyond the noise tolerance
+//!   against the committed baseline, or
+//! * the sharded engine no longer scales (the 4-shard Memento falls below
+//!   2× the single-core throughput, checked only when the host has ≥ 4
+//!   cores so CI containers with tiny CPU quotas don't flap).
+//!
+//! Usage: `perf_gate [--full] [--write-baseline] [--output PATH]
+//! [--baseline PATH]`. Environment: `PERF_GATE_TOLERANCE` (fractional
+//! regression tolerance, default 0.30), `PERF_GATE_SKIP_BASELINE=1`,
+//! `PERF_GATE_SKIP_SPEEDUP=1`. Refresh the baseline on a quiet machine with
+//! `cargo run --release --bin perf_gate -- --write-baseline`.
+
+use memento_bench::gate::{
+    calibration_mops, compare_throughput, GateReport, GateRow, GATE_SCHEMA_VERSION,
+};
+use memento_bench::{full_scale, make_trace, measure_mpps, on_arrival_rmse, scaled};
+use memento_core::traits::SlidingWindowEstimator;
+use memento_core::{Memento, Wcss};
+use memento_shard::ShardedEstimator;
+use memento_traces::{Packet, TracePreset};
+
+/// Packet-burst size fed to `update_batch` (a NIC-burst-like unit, same for
+/// every configuration so the comparison is fair).
+const CHUNK: usize = 4_096;
+
+/// Throughput passes per configuration; the best pass is reported (the
+/// usual best-of-N discipline for wall-clock microbenchmarks).
+const PASSES: usize = 3;
+
+/// Shard counts measured for the sharded engine.
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+struct GateConfig {
+    packets: usize,
+    window: usize,
+    counters: usize,
+    tau: f64,
+    accuracy_packets: usize,
+    probe_every: usize,
+    seed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let output_path = flag_value(&args, "--output").unwrap_or_else(|| "BENCH_pr.json".to_string());
+    let baseline_path = flag_value(&args, "--baseline")
+        .unwrap_or_else(|| "crates/bench/baselines/perf_gate_baseline.json".to_string());
+
+    let full = full_scale();
+    let config = GateConfig {
+        packets: scaled(1_500_000, 30_000_000),
+        window: scaled(100_000, 1_000_000),
+        counters: 4_096,
+        tau: 0.25,
+        accuracy_packets: scaled(300_000, 3_000_000),
+        probe_every: 101,
+        seed: 2018,
+    };
+
+    let preset = TracePreset::datacenter();
+    eprintln!(
+        "perf_gate: generating {} packets of the {} preset (seed {})...",
+        config.packets, preset.name, config.seed
+    );
+    let keys: Vec<u64> = make_trace(&preset, config.packets, config.seed)
+        .iter()
+        .map(Packet::flow)
+        .collect();
+    let accuracy_keys = &keys[..config.accuracy_packets.min(keys.len())];
+
+    let mut rows = Vec::new();
+
+    // Single-core references.
+    rows.push(measure_row(
+        &config,
+        1,
+        config.tau,
+        &keys,
+        accuracy_keys,
+        || {
+            Box::new(Memento::new(
+                config.counters,
+                config.window,
+                config.tau,
+                config.seed,
+            ))
+        },
+    ));
+    rows.push(measure_row(&config, 1, 1.0, &keys, accuracy_keys, || {
+        Box::new(Wcss::new(config.counters, config.window))
+    }));
+
+    // The sharded engine across the shard sweep (same total window and
+    // counter budget, split across shards).
+    for &shards in &SHARD_SWEEP {
+        rows.push(measure_row(
+            &config,
+            shards,
+            config.tau,
+            &keys,
+            accuracy_keys,
+            || {
+                Box::new(ShardedEstimator::memento(
+                    shards,
+                    config.counters,
+                    config.window,
+                    config.tau,
+                    config.seed,
+                ))
+            },
+        ));
+    }
+    for &shards in &SHARD_SWEEP[1..] {
+        rows.push(measure_row(
+            &config,
+            shards,
+            1.0,
+            &keys,
+            accuracy_keys,
+            || {
+                Box::new(ShardedEstimator::wcss(
+                    shards,
+                    config.counters,
+                    config.window,
+                ))
+            },
+        ));
+    }
+
+    let calibration = calibration_mops();
+    eprintln!("perf_gate: calibration workload: {calibration:.0} mops single-core");
+
+    let report = GateReport {
+        schema_version: GATE_SCHEMA_VERSION,
+        mode: if full { "full" } else { "laptop" }.to_string(),
+        trace_preset: preset.name.to_string(),
+        packets: config.packets,
+        window: config.window,
+        calibration_mops: calibration,
+        rows,
+    };
+
+    println!("algorithm,shards,tau,mpps,on_arrival_rmse");
+    for row in &report.rows {
+        println!(
+            "{},{},{},{:.3},{}",
+            row.algorithm,
+            row.shards,
+            row.tau,
+            row.mpps,
+            row.on_arrival_rmse
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".to_string())
+        );
+    }
+
+    std::fs::write(&output_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {output_path}: {e}"));
+    eprintln!("perf_gate: wrote {output_path}");
+
+    let mut failures = Vec::new();
+    check_speedup(&report, &mut failures);
+
+    if write_baseline {
+        if let Some(parent) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+        std::fs::write(&baseline_path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {baseline_path}: {e}"));
+        eprintln!("perf_gate: refreshed baseline {baseline_path}");
+    } else if env_truthy("PERF_GATE_SKIP_BASELINE") {
+        eprintln!("perf_gate: baseline comparison skipped (PERF_GATE_SKIP_BASELINE)");
+    } else {
+        compare_with_baseline(&report, &baseline_path, &mut failures);
+    }
+
+    if failures.is_empty() {
+        eprintln!("perf_gate: PASS");
+    } else {
+        for failure in &failures {
+            eprintln!("perf_gate: FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Measures one configuration: best-of-N chunked `update_batch` throughput
+/// plus on-arrival RMSE on the accuracy prefix of the trace.
+fn measure_row(
+    config: &GateConfig,
+    shards: usize,
+    tau: f64,
+    keys: &[u64],
+    accuracy_keys: &[u64],
+    mut make: impl FnMut() -> Box<dyn SlidingWindowEstimator<u64>>,
+) -> GateRow {
+    let mut best = 0.0f64;
+    let mut name = "";
+    for _ in 0..PASSES {
+        let mut estimator = make();
+        name = estimator.name();
+        let mpps = measure_mpps(keys.len(), || {
+            for part in keys.chunks(CHUNK) {
+                estimator.update_batch(part);
+            }
+            // Barrier: a sharded engine has in-flight batches until queried;
+            // counting them inside the timed region keeps the comparison
+            // honest. For single-threaded estimators this is a field read.
+            assert_eq!(estimator.processed(), keys.len() as u64);
+        });
+        best = best.max(mpps);
+    }
+    let mut estimator = make();
+    let rmse = on_arrival_rmse(
+        estimator.as_mut(),
+        accuracy_keys,
+        config.window.min(accuracy_keys.len() / 3),
+        config.probe_every,
+    );
+    eprintln!(
+        "perf_gate: {name}@{shards} shards: {best:.2} mpps, on-arrival RMSE {:.2} over {} probes",
+        rmse.value(),
+        rmse.count()
+    );
+    GateRow {
+        algorithm: name.to_string(),
+        shards,
+        tau,
+        counters: config.counters,
+        mpps: best,
+        on_arrival_rmse: Some(rmse.value()),
+    }
+}
+
+/// The ISSUE-2 acceptance check: the 4-shard Memento must hold ≥ 2× the
+/// single-core Memento throughput. Enforced from 4 cores up — the 4
+/// workers then run genuinely in parallel (the feeding thread interleaves,
+/// but it is a fraction of the per-packet work), and standard CI runners
+/// have exactly 4 vCPUs, so the gate must bind there or it binds nowhere.
+/// Skipped below 4 cores or with `PERF_GATE_SKIP_SPEEDUP=1`.
+fn check_speedup(report: &GateReport, failures: &mut Vec<String>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (Some(single), Some(sharded)) =
+        (report.row("memento", 1), report.row("sharded-memento", 4))
+    else {
+        failures.push("speedup check: memento@1 or sharded-memento@4 row missing".to_string());
+        return;
+    };
+    let speedup = sharded.mpps / single.mpps;
+    eprintln!(
+        "perf_gate: sharded-memento@4 speedup vs single-core memento: {speedup:.2}x \
+         ({:.2} / {:.2} mpps, {cores} cores)",
+        sharded.mpps, single.mpps
+    );
+    if env_truthy("PERF_GATE_SKIP_SPEEDUP") {
+        eprintln!("perf_gate: speedup check skipped (PERF_GATE_SKIP_SPEEDUP)");
+    } else if cores < 4 {
+        eprintln!("perf_gate: speedup check skipped (only {cores} cores available)");
+    } else if speedup < 2.0 {
+        failures.push(format!(
+            "sharded-memento@4 is only {speedup:.2}x the single-core throughput (need >= 2x)"
+        ));
+    }
+}
+
+fn compare_with_baseline(report: &GateReport, baseline_path: &str, failures: &mut Vec<String>) {
+    let tolerance = match std::env::var("PERF_GATE_TOLERANCE") {
+        Err(_) => 0.30,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                failures.push(format!(
+                    "PERF_GATE_TOLERANCE={raw:?} is not a fraction in [0, 1)"
+                ));
+                return;
+            }
+        },
+    };
+    match std::fs::read_to_string(baseline_path) {
+        Err(e) => failures.push(format!(
+            "no baseline at {baseline_path} ({e}); run with --write-baseline to create it \
+             or set PERF_GATE_SKIP_BASELINE=1"
+        )),
+        Ok(text) => match GateReport::from_json(&text) {
+            Err(e) => failures.push(format!("baseline {baseline_path} is invalid: {e}")),
+            Ok(baseline) => {
+                let violations = compare_throughput(report, &baseline, tolerance);
+                if violations.is_empty() {
+                    eprintln!(
+                        "perf_gate: all {} baseline configurations within {:.0}% of {}",
+                        baseline.rows.len(),
+                        tolerance * 100.0,
+                        baseline_path
+                    );
+                }
+                failures.extend(violations);
+            }
+        },
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn env_truthy(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| memento_bench::is_truthy(&v))
+        .unwrap_or(false)
+}

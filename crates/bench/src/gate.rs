@@ -1,0 +1,706 @@
+//! The machine-readable performance-gate schema and comparator.
+//!
+//! The `perf_gate` binary measures throughput (million packets per second)
+//! and on-arrival accuracy for a matrix of algorithm × shard-count
+//! configurations, writes the result as `BENCH_pr.json`, and compares it
+//! against a committed baseline: CI fails when a row's throughput regresses
+//! beyond a noise tolerance. This module holds everything testable about
+//! that pipeline — the report model, a small self-contained JSON
+//! reader/writer (the workspace's vendored `serde` stand-in has no JSON
+//! backend), and the comparator — so the binary is just measurement code.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value, writer and parser.
+// ---------------------------------------------------------------------------
+
+/// A JSON value. Numbers are kept as `f64` (the schema only carries
+/// measurements and small integers, well inside `f64`'s exact range).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, with insertion order preserved (stable diffs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline
+    /// (diff-friendly for a committed baseline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    Json::Str(key.clone()).render_into(out, depth + 1);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset this schema uses: no `\u` escapes
+    /// beyond BMP code points, numbers as `f64`).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing input at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "non-utf8 escape")?,
+                                16,
+                            )
+                            .map_err(|_| "invalid \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("non-BMP \\u escape")?);
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The perf-gate report schema.
+// ---------------------------------------------------------------------------
+
+/// Schema version stamped into every report; bump on breaking changes.
+pub const GATE_SCHEMA_VERSION: u64 = 1;
+
+/// One measured configuration: an algorithm at a shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Stable algorithm name (`SlidingWindowEstimator::name`).
+    pub algorithm: String,
+    /// Number of shards (1 = the single-threaded estimator itself).
+    pub shards: usize,
+    /// Full-update probability τ of the configuration.
+    pub tau: f64,
+    /// Total Space-Saving counters across all shards.
+    pub counters: usize,
+    /// Update throughput in million packets per second (best of the
+    /// measured passes).
+    pub mpps: f64,
+    /// On-arrival RMSE against an exact sliding window, in packets
+    /// (`None` for rows where accuracy is not measured).
+    pub on_arrival_rmse: Option<f64>,
+}
+
+/// A full perf-gate report (`BENCH_pr.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Schema version ([`GATE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// `laptop` or `full` (paper scale).
+    pub mode: String,
+    /// Synthetic trace preset name.
+    pub trace_preset: String,
+    /// Packets in the throughput trace.
+    pub packets: usize,
+    /// Sliding-window size `W` in packets.
+    pub window: usize,
+    /// Single-core speed of the fixed [`calibration_mops`] integer workload
+    /// on the measuring machine, in million operations per second. The
+    /// comparator uses the baseline/current ratio to normalize away machine
+    /// speed, so a baseline recorded on one box remains meaningful on a
+    /// slower or faster CI runner.
+    pub calibration_mops: f64,
+    /// The measured configurations.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// Serializes the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut members = vec![
+                    ("algorithm".to_string(), Json::Str(r.algorithm.clone())),
+                    ("shards".to_string(), Json::Num(r.shards as f64)),
+                    ("tau".to_string(), Json::Num(r.tau)),
+                    ("counters".to_string(), Json::Num(r.counters as f64)),
+                    ("mpps".to_string(), Json::Num(round_sig(r.mpps))),
+                ];
+                members.push((
+                    "on_arrival_rmse".to_string(),
+                    match r.on_arrival_rmse {
+                        Some(v) => Json::Num(round_sig(v)),
+                        None => Json::Null,
+                    },
+                ));
+                Json::Obj(members)
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            (
+                "trace_preset".to_string(),
+                Json::Str(self.trace_preset.clone()),
+            ),
+            ("packets".to_string(), Json::Num(self.packets as f64)),
+            ("window".to_string(), Json::Num(self.window as f64)),
+            (
+                "calibration_mops".to_string(),
+                Json::Num(round_sig(self.calibration_mops)),
+            ),
+            ("results".to_string(), Json::Arr(rows)),
+        ])
+        .render()
+    }
+
+    /// Parses a report from JSON, validating the schema version.
+    pub fn from_json(text: &str) -> Result<GateReport, String> {
+        let value = Json::parse(text)?;
+        let schema_version = value
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if schema_version != GATE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (expected {GATE_SCHEMA_VERSION})"
+            ));
+        }
+        let string_field = |key: &str| -> Result<String, String> {
+            Ok(value
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing {key}"))?
+                .to_string())
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing {key}"))
+        };
+        let mut rows = Vec::new();
+        for row in value
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("missing results array")?
+        {
+            rows.push(GateRow {
+                algorithm: row
+                    .get("algorithm")
+                    .and_then(Json::as_str)
+                    .ok_or("row missing algorithm")?
+                    .to_string(),
+                shards: row
+                    .get("shards")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing shards")? as usize,
+                tau: row
+                    .get("tau")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing tau")?,
+                counters: row
+                    .get("counters")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing counters")? as usize,
+                mpps: row
+                    .get("mpps")
+                    .and_then(Json::as_f64)
+                    .ok_or("row missing mpps")?,
+                on_arrival_rmse: row.get("on_arrival_rmse").and_then(Json::as_f64),
+            });
+        }
+        Ok(GateReport {
+            schema_version,
+            mode: string_field("mode")?,
+            trace_preset: string_field("trace_preset")?,
+            packets: num_field("packets")? as usize,
+            window: num_field("window")? as usize,
+            calibration_mops: num_field("calibration_mops")?,
+            rows,
+        })
+    }
+
+    /// The row for an (algorithm, shards) configuration, if measured.
+    pub fn row(&self, algorithm: &str, shards: usize) -> Option<&GateRow> {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == algorithm && r.shards == shards)
+    }
+}
+
+/// Rounds to six significant-ish decimal digits so reports and baselines
+/// stay diff-friendly.
+fn round_sig(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// Measures the fixed single-core integer calibration workload, in million
+/// operations per second. It is a SplitMix64 chain — data-independent
+/// integer multiplies, shifts and xors, the same instruction mix that
+/// dominates the estimators' hot paths — so its speed tracks how fast the
+/// measuring machine runs *our kind* of code, and the ratio of two
+/// machines' calibration speeds is a usable cross-machine normalizer for
+/// the throughput rows.
+pub fn calibration_mops() -> f64 {
+    const OPS: u64 = 1 << 26;
+    let start = std::time::Instant::now();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..OPS {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = acc.wrapping_add(z ^ (z >> 31));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // The accumulator must stay observable or the loop folds away.
+    assert_ne!(acc, 1);
+    OPS as f64 / elapsed / 1e6
+}
+
+/// Compares a fresh report against the committed baseline: every baseline
+/// row must be present and its throughput must not regress by more than
+/// `tolerance` (a fraction, e.g. `0.30`) after normalizing for machine
+/// speed via the reports' calibration measurements. New rows absent from
+/// the baseline are allowed (they become binding once the baseline is
+/// refreshed). Returns the list of violations (empty = gate passes).
+pub fn compare_throughput(
+    current: &GateReport,
+    baseline: &GateReport,
+    tolerance: f64,
+) -> Vec<String> {
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be a fraction in [0,1)"
+    );
+    // How many times faster the baseline machine is than this one; scale the
+    // baseline's expectations down (or up) accordingly.
+    let machine_ratio = if current.calibration_mops > 0.0 && baseline.calibration_mops > 0.0 {
+        baseline.calibration_mops / current.calibration_mops
+    } else {
+        1.0
+    };
+    let mut violations = Vec::new();
+    let current_rows: HashMap<(&str, usize), &GateRow> = current
+        .rows
+        .iter()
+        .map(|r| ((r.algorithm.as_str(), r.shards), r))
+        .collect();
+    for expected in &baseline.rows {
+        match current_rows.get(&(expected.algorithm.as_str(), expected.shards)) {
+            None => violations.push(format!(
+                "missing configuration {}@{} shards (present in baseline)",
+                expected.algorithm, expected.shards
+            )),
+            Some(row) => {
+                let floor = expected.mpps / machine_ratio * (1.0 - tolerance);
+                if row.mpps < floor {
+                    violations.push(format!(
+                        "{}@{} shards regressed: {:.2} mpps < {:.2} mpps floor \
+                         (baseline {:.2} mpps on a {:.2}x machine − {:.0}% tolerance)",
+                        row.algorithm,
+                        row.shards,
+                        row.mpps,
+                        floor,
+                        expected.mpps,
+                        machine_ratio,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: Vec<GateRow>) -> GateReport {
+        GateReport {
+            schema_version: GATE_SCHEMA_VERSION,
+            mode: "laptop".to_string(),
+            trace_preset: "datacenter".to_string(),
+            packets: 1_000_000,
+            window: 100_000,
+            calibration_mops: 800.0,
+            rows,
+        }
+    }
+
+    fn row(algorithm: &str, shards: usize, mpps: f64) -> GateRow {
+        GateRow {
+            algorithm: algorithm.to_string(),
+            shards,
+            tau: 0.25,
+            counters: 4096,
+            mpps,
+            on_arrival_rmse: Some(12.5),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_report() {
+        let original = report(vec![
+            row("memento", 1, 18.25),
+            row("sharded-memento", 4, 55.0),
+        ]);
+        let text = original.to_json();
+        let parsed = GateReport::from_json(&text).unwrap();
+        assert_eq!(parsed, original);
+        // Lookups work on the parsed form.
+        assert_eq!(parsed.row("memento", 1).unwrap().mpps, 18.25);
+        assert!(parsed.row("memento", 2).is_none());
+    }
+
+    #[test]
+    fn json_parser_handles_the_usual_shapes() {
+        let v = Json::parse(
+            r#"{"a": [1, -2.5, 1e3], "b": {"nested": true}, "s": "q\"\\\né", "n": null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2], Json::Num(1000.0));
+        assert_eq!(v.get("b").unwrap().get("nested"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "q\"\\\né");
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        assert!(Json::parse("{\"unterminated\": ").is_err());
+        assert!(Json::parse("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut bad = report(vec![]);
+        bad.schema_version = 999;
+        assert!(GateReport::from_json(&bad.to_json())
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn comparator_accepts_within_tolerance() {
+        let baseline = report(vec![row("memento", 1, 20.0)]);
+        let current = report(vec![row("memento", 1, 15.0)]); // −25% < 30%
+        assert!(compare_throughput(&current, &baseline, 0.30).is_empty());
+    }
+
+    #[test]
+    fn comparator_flags_regressions_and_missing_rows() {
+        let baseline = report(vec![
+            row("memento", 1, 20.0),
+            row("sharded-memento", 4, 60.0),
+        ]);
+        let current = report(vec![row("memento", 1, 10.0)]); // −50% and one row gone
+        let violations = compare_throughput(&current, &baseline, 0.30);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("regressed")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("missing configuration")));
+    }
+
+    #[test]
+    fn comparator_ignores_rows_new_in_current() {
+        let baseline = report(vec![row("memento", 1, 20.0)]);
+        let current = report(vec![row("memento", 1, 20.0), row("wcss", 1, 5.0)]);
+        assert!(compare_throughput(&current, &baseline, 0.30).is_empty());
+    }
+
+    #[test]
+    fn comparator_normalizes_for_machine_speed() {
+        let baseline = report(vec![row("memento", 1, 20.0)]);
+        // The current machine calibrates at half the baseline machine's
+        // speed, so 11 mpps is within 30% of the scaled 10-mpps expectation…
+        let mut current = report(vec![row("memento", 1, 11.0)]);
+        current.calibration_mops = 400.0;
+        assert!(compare_throughput(&current, &baseline, 0.30).is_empty());
+        // …while 6.9 mpps (−31% of 10) is not.
+        current.rows[0].mpps = 6.9;
+        assert_eq!(compare_throughput(&current, &baseline, 0.30).len(), 1);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let mops = calibration_mops();
+        assert!(mops.is_finite() && mops > 0.0);
+    }
+}

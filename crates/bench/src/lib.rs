@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::hash::Hash;
 use std::time::Instant;
 
@@ -25,9 +27,32 @@ use memento_sketches::ExactWindow;
 use memento_traces::{Packet, TraceGenerator, TracePreset};
 
 /// True when the harness should run at paper scale (`--full` argument or
-/// `MEMENTO_FULL=1`).
+/// `MEMENTO_FULL` set to a truthy value — `MEMENTO_FULL=0` explicitly stays
+/// at laptop scale).
 pub fn full_scale() -> bool {
-    std::env::args().any(|a| a == "--full") || std::env::var("MEMENTO_FULL").is_ok()
+    full_scale_from(
+        std::env::args(),
+        std::env::var("MEMENTO_FULL").ok().as_deref(),
+    )
+}
+
+/// Pure core of [`full_scale`]: decides from an argument list and the value
+/// of `MEMENTO_FULL` (if set). The env var is truthy unless it is one of the
+/// usual falsy spellings — a seed-era bug treated *any* set value,
+/// including `0`, as paper scale.
+pub fn full_scale_from<I: IntoIterator<Item = String>>(args: I, var: Option<&str>) -> bool {
+    args.into_iter().any(|a| a == "--full") || var.map(is_truthy).unwrap_or(false)
+}
+
+/// The workspace's one truthiness rule for environment toggles
+/// (`MEMENTO_FULL`, `PERF_GATE_SKIP_*`): everything is truthy except the
+/// usual falsy spellings (empty, `0`, `false`, `no`, `off`,
+/// case-insensitive, surrounding whitespace ignored).
+pub fn is_truthy(value: &str) -> bool {
+    !matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "" | "0" | "false" | "no" | "off"
+    )
 }
 
 /// Picks between the laptop-scale and paper-scale value of a parameter.
@@ -82,12 +107,19 @@ pub fn measure_estimator_mpps<K: Clone>(
 }
 
 /// Batched update throughput of a flow estimator (drives the
-/// `update_batch` fast path), in million packets per second.
+/// `update_batch` fast path), in million packets per second. The timed
+/// region ends with a `processed()` barrier: for an asynchronous engine
+/// (the sharded estimator) that forces in-flight batches to drain, so the
+/// number reflects completed work; for single-threaded estimators it is a
+/// field read.
 pub fn measure_estimator_batch_mpps<K: Clone>(
     estimator: &mut dyn SlidingWindowEstimator<K>,
     keys: &[K],
 ) -> f64 {
-    measure_mpps(keys.len(), || estimator.update_batch(keys))
+    measure_mpps(keys.len(), || {
+        estimator.update_batch(keys);
+        let _ = estimator.processed();
+    })
 }
 
 /// Per-packet update throughput of an HHH algorithm, in million packets per
@@ -233,6 +265,23 @@ mod tests {
     fn scaled_picks_by_mode() {
         // In the test environment --full is not set.
         assert_eq!(scaled(10, 1000), 10);
+    }
+
+    #[test]
+    fn full_scale_honors_falsy_env_values() {
+        let no_args = Vec::<String>::new();
+        // Unset, and every falsy spelling: laptop scale.
+        assert!(!full_scale_from(no_args.clone(), None));
+        for falsy in ["", "0", "false", "no", "off", " 0 ", "FALSE", "Off"] {
+            assert!(!full_scale_from(no_args.clone(), Some(falsy)), "{falsy:?}");
+        }
+        // Any other value: paper scale.
+        for truthy in ["1", "true", "yes", "on", "2", "full"] {
+            assert!(full_scale_from(no_args.clone(), Some(truthy)), "{truthy:?}");
+        }
+        // --full wins regardless of the env var.
+        let args = vec!["bin".to_string(), "--full".to_string()];
+        assert!(full_scale_from(args, Some("0")));
     }
 
     #[test]

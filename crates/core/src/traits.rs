@@ -73,6 +73,22 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// ones. Consumers use it to scale assertions and plots, not as a hard
     /// guarantee for sampled estimators.
     fn error_bound(&self) -> f64;
+
+    /// True when instances of this estimator running over *disjoint key
+    /// partitions* of one stream answer the global window queries by simple
+    /// merging — a flow's estimate is the owning partition's estimate, the
+    /// global heavy-hitter set is the union of per-partition sets, and
+    /// `processed`/`space_bytes` add up. This is the mergeable-summary
+    /// property that the sliding-window heavy-hitter literature (Braverman
+    /// et al.) assumes for partitioned deployments, and what the
+    /// `memento-shard` engine requires of the estimators it scales across
+    /// cores. All workspace estimators qualify (their state is per-flow
+    /// counts plus stream position); an implementor whose queries depend on
+    /// cross-flow global state must opt out so sharded engines can refuse
+    /// it at construction.
+    fn mergeable(&self) -> bool {
+        true
+    }
 }
 
 impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
@@ -271,6 +287,16 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     /// Starts a new measurement interval; a no-op for sliding-window
     /// algorithms.
     fn reset_interval(&mut self) {}
+
+    /// True when instances over *disjoint item partitions* of one stream
+    /// merge into the global answer by summing per-partition prefix
+    /// estimates and unioning per-partition HHH sets (see
+    /// [`SlidingWindowEstimator::mergeable`]; for hierarchies the merge is
+    /// summation because one prefix aggregates items from every partition).
+    /// Required by the `memento-shard` engine.
+    fn mergeable(&self) -> bool {
+        true
+    }
 }
 
 impl<Hi: Hierarchy> HhhAlgorithm<Hi> for HMemento<Hi>

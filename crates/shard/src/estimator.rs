@@ -1,0 +1,361 @@
+//! Hash-partitioned multi-core engine for [`SlidingWindowEstimator`]s.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use memento_core::traits::SlidingWindowEstimator;
+use memento_core::{Memento, Wcss};
+use memento_sketches::ExactWindow;
+
+use crate::worker::ShardWorker;
+use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
+
+/// The boxed per-shard estimator each worker thread owns.
+pub type BoxedEstimator<K> = Box<dyn SlidingWindowEstimator<K> + Send>;
+
+/// A sliding-window estimator scaled across worker threads.
+///
+/// Keys are hash-partitioned over `N` shards; each shard is a worker thread
+/// owning an independent estimator over a window of `W/N` packets. Because
+/// the partition is by flow key, *all* packets of a flow land in one shard,
+/// and a shard's `W/N`-packet window covers (in expectation) the same stretch
+/// of the global stream as a single `W`-packet window would — so per-flow
+/// queries are answered by the owning shard alone and heavy-hitter queries
+/// are the union of the per-shard answers (the summation/union merge that
+/// the [`SlidingWindowEstimator::mergeable`] contract promises). This is the
+/// mergeable-summary view of sliding-window measurement that the
+/// sliding-window heavy-hitter literature (Braverman et al.) relies on for
+/// partitioned deployments.
+///
+/// Updates travel to the workers as batches over bounded channels (reusing
+/// each estimator's `update_batch` fast path — for Memento, the geometric
+/// skip sampling of §5); queries piggyback on the same FIFO, so a query
+/// observes every update enqueued before it without any locking around the
+/// algorithm state.
+///
+/// The engine itself implements [`SlidingWindowEstimator`], so every generic
+/// driver in the workspace — the figure harnesses, the detection
+/// disciplines, the flood-mitigation scenario — can run sharded without
+/// modification.
+pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + 'static> {
+    name: &'static str,
+    workers: Vec<ShardWorker<BoxedEstimator<K>>>,
+    /// Per-shard buffers of keys not yet shipped to the workers. Behind a
+    /// mutex so the `&self` query methods can flush them; the engine is not
+    /// itself meant to be driven from several threads (updates take
+    /// `&mut self`), so the lock is uncontended.
+    pending: Mutex<Vec<Vec<K>>>,
+    /// Ship a shard's buffer once it holds this many keys.
+    flush_threshold: usize,
+    /// Worst per-shard error bound, cached at construction (constant per
+    /// configuration).
+    error_bound: f64,
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
+    /// Creates a sharded engine with `shards` workers, each owning the
+    /// estimator built by `factory(shard_index)`.
+    ///
+    /// `name` is the stable identifier reported through
+    /// [`SlidingWindowEstimator::name`] (bench CSV/JSON output).
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or a factory-built estimator reports
+    /// itself as not [`mergeable`](SlidingWindowEstimator::mergeable).
+    pub fn new<F>(name: &'static str, shards: usize, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> BoxedEstimator<K>,
+    {
+        assert!(shards > 0, "shard count must be positive");
+        let mut workers = Vec::with_capacity(shards);
+        let mut error_bound: f64 = 0.0;
+        for i in 0..shards {
+            let estimator = factory(i);
+            assert!(
+                estimator.mergeable(),
+                "{} is not mergeable across key partitions; it cannot be sharded",
+                estimator.name()
+            );
+            error_bound = error_bound.max(estimator.error_bound());
+            workers.push(ShardWorker::spawn(
+                format!("{name}-shard-{i}"),
+                DEFAULT_QUEUE_DEPTH,
+                estimator,
+            ));
+        }
+        ShardedEstimator {
+            name,
+            workers,
+            pending: Mutex::new((0..shards).map(|_| Vec::new()).collect()),
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            error_bound,
+        }
+    }
+
+    /// A sharded [`Memento`]: total window `W` split into per-shard windows
+    /// of `⌈W/N⌉` packets and `⌈k/N⌉` counters (same absolute error bound
+    /// `4W/k` as the single instance), with per-shard decorrelated RNG seeds.
+    pub fn memento(shards: usize, counters: usize, window: usize, tau: f64, seed: u64) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let shard_window = window.div_ceil(shards).max(1);
+        let shard_counters = counters.div_ceil(shards).max(1);
+        Self::new("sharded-memento", shards, move |i| {
+            let shard_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Box::new(Memento::new(shard_counters, shard_window, tau, shard_seed))
+        })
+    }
+
+    /// A sharded [`Wcss`] (Memento with τ = 1): the fully deterministic
+    /// configuration, used by the equivalence tests.
+    pub fn wcss(shards: usize, counters: usize, window: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let shard_window = window.div_ceil(shards).max(1);
+        let shard_counters = counters.div_ceil(shards).max(1);
+        Self::new("sharded-wcss", shards, move |_| {
+            Box::new(Wcss::new(shard_counters, shard_window))
+        })
+    }
+
+    /// A sharded exact window oracle (per-shard windows of `⌈W/N⌉` packets):
+    /// zero estimation error, used as the sharding-layer ground truth.
+    pub fn exact(shards: usize, window: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let shard_window = window.div_ceil(shards).max(1);
+        Self::new("sharded-exact", shards, move |_| {
+            Box::new(ExactWindow::new(shard_window))
+        })
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Overrides the per-shard batch size at which buffered keys are shipped
+    /// to the workers (default [`DEFAULT_FLUSH_THRESHOLD`]).
+    pub fn set_flush_threshold(&mut self, threshold: usize) {
+        assert!(threshold > 0, "flush threshold must be positive");
+        self.flush_threshold = threshold;
+    }
+
+    /// The shard owning `key`. Uses the std hasher with its fixed keys, so
+    /// the partition is deterministic across runs and processes.
+    fn shard_of(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.workers.len() as u64) as usize
+    }
+
+    /// Ships one shard's buffered keys to its worker.
+    fn ship(&self, shard: usize, batch: Vec<K>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.workers[shard].send(Box::new(move |est| est.update_batch(&batch)));
+    }
+
+    /// Flushes every shard's pending buffer (queries call this so that they
+    /// observe all preceding updates).
+    pub fn flush(&self) {
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        for shard in 0..self.workers.len() {
+            let batch = std::mem::take(&mut pending[shard]);
+            self.ship(shard, batch);
+        }
+    }
+
+    /// Flushes a single shard's pending buffer.
+    fn flush_shard(&self, shard: usize) {
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let batch = std::mem::take(&mut pending[shard]);
+        self.ship(shard, batch);
+    }
+
+    /// Runs a query on one shard, after everything enqueued before it.
+    fn query_shard<R, F>(&self, shard: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut BoxedEstimator<K>) -> R + Send + 'static,
+    {
+        self.workers[shard].call(f)
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static> std::fmt::Debug for ShardedEstimator<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEstimator")
+            .field("name", &self.name)
+            .field("shards", &self.workers.len())
+            .field("flush_threshold", &self.flush_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for ShardedEstimator<K> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn update(&mut self, key: K) {
+        // `&mut self` rules out concurrent queries, so holding the buffer
+        // lock across a (possibly blocking) ship cannot deadlock.
+        let shard = self.shard_of(&key);
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let buffer = &mut pending[shard];
+        buffer.push(key);
+        if buffer.len() >= self.flush_threshold {
+            let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
+            self.ship(shard, full);
+        }
+    }
+
+    /// Partitions the batch by key hash and ships each shard's share in
+    /// flush-threshold-sized messages, preserving per-shard arrival order
+    /// (the order across shards is immaterial: shards are disjoint key
+    /// sets). Keys beyond the last full message stay buffered until the next
+    /// update or query.
+    fn update_batch(&mut self, keys: &[K]) {
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        for key in keys {
+            let shard = self.shard_of(key);
+            let buffer = &mut pending[shard];
+            if buffer.capacity() == 0 {
+                buffer.reserve(self.flush_threshold);
+            }
+            buffer.push(key.clone());
+            if buffer.len() >= self.flush_threshold {
+                let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
+                self.ship(shard, full);
+            }
+        }
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        let shard = self.shard_of(key);
+        self.flush_shard(shard);
+        let key = key.clone();
+        self.query_shard(shard, move |est| est.estimate(&key))
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        self.flush();
+        let mut merged: Vec<(K, f64)> = Vec::new();
+        for shard in 0..self.workers.len() {
+            merged.extend(self.query_shard(shard, move |est| est.heavy_hitters(threshold)));
+        }
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        merged
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.flush();
+        (0..self.workers.len())
+            .map(|shard| self.query_shard(shard, |est| est.space_bytes()))
+            .sum()
+    }
+
+    fn processed(&self) -> u64 {
+        self.flush();
+        (0..self.workers.len())
+            .map(|shard| self.query_shard(shard, |est| est.processed()))
+            .sum()
+    }
+
+    fn error_bound(&self) -> f64 {
+        // A flow lives entirely in one shard, so the merged per-flow error is
+        // the worst per-shard bound, not their sum.
+        self.error_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_all_packets_and_counts_them() {
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(4, 4_000);
+        for i in 0..2_000u64 {
+            sharded.update(i % 37);
+        }
+        assert_eq!(sharded.processed(), 2_000);
+        assert_eq!(sharded.shards(), 4);
+        assert!(sharded.space_bytes() > 0);
+        assert_eq!(sharded.error_bound(), 0.0);
+    }
+
+    #[test]
+    fn exact_sharding_matches_exact_counts_within_shard_window() {
+        // Within W/N packets nothing expires anywhere, so the sharded exact
+        // oracle must agree exactly with a single exact window.
+        let window = 8_000;
+        let shards = 4;
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(shards, window);
+        let mut single: ExactWindow<u64> = ExactWindow::new(window);
+        for i in 0..(window / shards) as u64 {
+            let key = i % 101;
+            sharded.update(key);
+            single.add(key);
+        }
+        for key in 0..101u64 {
+            assert_eq!(sharded.estimate(&key), single.query(&key) as f64);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_merge_across_shards() {
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(3, 30_000);
+        // Three heavy flows chosen to (very likely) live on distinct shards.
+        for _ in 0..1_000 {
+            for key in [1u64, 2, 3, 500, 501] {
+                sharded.update(key);
+            }
+        }
+        let hh = sharded.heavy_hitters(900.0);
+        assert_eq!(hh.len(), 5);
+        for pair in hh.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "merged output not sorted: {hh:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_memento_matches_unsharded_memento() {
+        // With one shard the engine routes everything to one inner Memento
+        // configured identically, so estimates agree exactly.
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::memento(1, 64, 4_000, 1.0, 7);
+        let mut single: Memento<u64> = Memento::new(64, 4_000, 1.0, 7);
+        for i in 0..10_000u64 {
+            let key = (i * i) % 113;
+            sharded.update(key);
+            single.update(key);
+        }
+        for key in 0..113u64 {
+            assert_eq!(sharded.estimate(&key), Memento::estimate(&single, &key));
+        }
+        assert_eq!(sharded.processed(), single.processed());
+    }
+
+    #[test]
+    fn update_batch_equals_per_packet_updates() {
+        let mut batched: ShardedEstimator<u64> = ShardedEstimator::wcss(4, 64, 8_000);
+        let mut one_by_one: ShardedEstimator<u64> = ShardedEstimator::wcss(4, 64, 8_000);
+        let keys: Vec<u64> = (0..20_000u64).map(|i| (i * 7) % 301).collect();
+        for part in keys.chunks(997) {
+            batched.update_batch(part);
+        }
+        for &key in &keys {
+            one_by_one.update(key);
+        }
+        for key in 0..301u64 {
+            assert_eq!(batched.estimate(&key), one_by_one.estimate(&key));
+        }
+        assert_eq!(batched.processed(), one_by_one.processed());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panic() {
+        let _ = ShardedEstimator::<u64>::exact(0, 100);
+    }
+}

@@ -1,0 +1,380 @@
+//! Hash-partitioned multi-core engine for [`HhhAlgorithm`]s.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use memento_core::traits::HhhAlgorithm;
+use memento_core::HMemento;
+use memento_hierarchy::Hierarchy;
+
+use crate::worker::ShardWorker;
+use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
+
+/// The boxed per-shard HHH algorithm each worker thread owns.
+pub type BoxedHhh<Hi> = Box<dyn HhhAlgorithm<Hi> + Send>;
+
+/// A hierarchical heavy-hitters algorithm scaled across worker threads.
+///
+/// Items are hash-partitioned over `N` shards, each a worker thread owning
+/// an independent HHH instance over a window of `⌈W/N⌉` packets. Unlike
+/// per-flow estimation, a *prefix* aggregates many items that may hash to
+/// different shards, so the merge is summation rather than routing:
+/// [`HhhAlgorithm::estimate`] sums the per-shard prefix estimates, and
+/// [`HhhAlgorithm::output`] unions the per-shard HHH sets and re-validates
+/// each candidate against the *global* threshold `θ·W`. Uniform hashing
+/// preserves traffic *fractions* per shard in expectation, so a prefix
+/// above threshold `θ` globally is above `θ` in at least one shard (no
+/// false negatives beyond the per-shard guarantees); the re-validation
+/// step exists for the opposite direction — a narrow prefix hashes wholly
+/// to one shard where its local fraction is up to `N×` its global one, so
+/// the raw union would report prefixes with global share as low as `θ/N`.
+pub struct ShardedHhh<Hi: Hierarchy + 'static> {
+    name: &'static str,
+    workers: Vec<ShardWorker<BoxedHhh<Hi>>>,
+    /// Per-shard buffers of items not yet shipped to the workers (see
+    /// [`crate::ShardedEstimator`] for the locking rationale).
+    pending: Mutex<Vec<Vec<Hi::Item>>>,
+    flush_threshold: usize,
+    /// Whether the inner algorithm has interval (landmark) semantics, cached
+    /// at construction.
+    interval: bool,
+    /// Global window size `W` (sum of the per-shard windows), when known:
+    /// enables the `θ·W` re-validation of merged HHH outputs.
+    window_total: Option<usize>,
+}
+
+impl<Hi: Hierarchy + 'static> ShardedHhh<Hi>
+where
+    Hi::Item: Send + 'static,
+    Hi::Prefix: Send + 'static,
+{
+    /// Creates a sharded HHH engine with `shards` workers, each owning the
+    /// algorithm built by `factory(shard_index)`. `window` is the global
+    /// window size `W` when known (the sum of the per-shard windows); it
+    /// enables [`output`](HhhAlgorithm::output)'s re-validation of merged
+    /// candidates against the global `θ·W` threshold — pass `None` only for
+    /// algorithms without a meaningful window.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or a factory-built algorithm reports
+    /// itself as not [`mergeable`](HhhAlgorithm::mergeable).
+    pub fn new<F>(name: &'static str, shards: usize, window: Option<usize>, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> BoxedHhh<Hi>,
+    {
+        assert!(shards > 0, "shard count must be positive");
+        let mut workers = Vec::with_capacity(shards);
+        let mut interval = false;
+        for i in 0..shards {
+            let algorithm = factory(i);
+            assert!(
+                algorithm.mergeable(),
+                "{} is not mergeable across item partitions; it cannot be sharded",
+                algorithm.name()
+            );
+            interval = algorithm.is_interval();
+            workers.push(ShardWorker::spawn(
+                format!("{name}-shard-{i}"),
+                DEFAULT_QUEUE_DEPTH,
+                algorithm,
+            ));
+        }
+        ShardedHhh {
+            name,
+            workers,
+            pending: Mutex::new((0..shards).map(|_| Vec::new()).collect()),
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            interval,
+            window_total: window,
+        }
+    }
+
+    /// A sharded [`HMemento`]: total window `W` split into per-shard windows
+    /// of `⌈W/N⌉` packets and `⌈k/N⌉` counters.
+    pub fn h_memento(
+        hier: Hi,
+        shards: usize,
+        counters: usize,
+        window: usize,
+        tau: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Self
+    where
+        Hi: Send + 'static,
+        Hi::Prefix: Hash,
+    {
+        assert!(shards > 0, "shard count must be positive");
+        let shard_window = window.div_ceil(shards).max(1);
+        let shard_counters = counters.div_ceil(shards).max(1);
+        Self::new("sharded-h-memento", shards, Some(window), move |i| {
+            let shard_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Box::new(HMemento::new(
+                hier.clone(),
+                shard_counters,
+                shard_window,
+                tau,
+                delta,
+                shard_seed,
+            ))
+        })
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn shard_of(&self, item: &Hi::Item) -> usize {
+        let mut hasher = DefaultHasher::new();
+        item.hash(&mut hasher);
+        (hasher.finish() % self.workers.len() as u64) as usize
+    }
+
+    fn ship(&self, shard: usize, batch: Vec<Hi::Item>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.workers[shard].send(Box::new(move |alg| alg.update_batch(&batch)));
+    }
+
+    /// Flushes every shard's pending buffer.
+    pub fn flush(&self) {
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        for shard in 0..self.workers.len() {
+            let batch = std::mem::take(&mut pending[shard]);
+            self.ship(shard, batch);
+        }
+    }
+
+    /// Sum of the per-shard estimates for a prefix (callers flush first).
+    fn summed_estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.workers
+            .iter()
+            .map(|worker| {
+                let p = *prefix;
+                worker.call(move |alg| alg.estimate(&p))
+            })
+            .sum()
+    }
+}
+
+impl<Hi: Hierarchy + 'static> std::fmt::Debug for ShardedHhh<Hi> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHhh")
+            .field("name", &self.name)
+            .field("shards", &self.workers.len())
+            .field("flush_threshold", &self.flush_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<Hi: Hierarchy + 'static> HhhAlgorithm<Hi> for ShardedHhh<Hi>
+where
+    Hi::Item: Send + 'static,
+    Hi::Prefix: Send + 'static,
+{
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn update(&mut self, item: Hi::Item) {
+        let shard = self.shard_of(&item);
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let buffer = &mut pending[shard];
+        buffer.push(item);
+        if buffer.len() >= self.flush_threshold {
+            let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
+            self.ship(shard, full);
+        }
+    }
+
+    fn update_batch(&mut self, items: &[Hi::Item]) {
+        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        for &item in items {
+            let shard = self.shard_of(&item);
+            let buffer = &mut pending[shard];
+            if buffer.capacity() == 0 {
+                buffer.reserve(self.flush_threshold);
+            }
+            buffer.push(item);
+            if buffer.len() >= self.flush_threshold {
+                let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
+                self.ship(shard, full);
+            }
+        }
+    }
+
+    /// A prefix's traffic spreads over every shard, so the network-wide view
+    /// is the *sum* of the per-shard estimates.
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.flush();
+        self.summed_estimate(prefix)
+    }
+
+    /// The union of the per-shard HHH sets, re-validated against the global
+    /// threshold (deduplicated, in prefix order).
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        self.flush();
+        let mut seen: HashSet<Hi::Prefix> = HashSet::new();
+        for worker in &self.workers {
+            seen.extend(worker.call(move |alg| alg.output(theta)));
+        }
+        let mut merged: Vec<Hi::Prefix> = seen.into_iter().collect();
+        // A shard-local HHH only witnesses ≥ θ·(W/N) packets globally, so
+        // keep a candidate only when the summed (upper-bound) estimate
+        // clears the global θ·W bar. Upper bounds never undercount, so no
+        // legitimate HHH is dropped. One round-trip per worker estimates
+        // every candidate at once.
+        if let Some(window) = self.window_total {
+            let floor = theta * window as f64;
+            let mut totals = vec![0.0f64; merged.len()];
+            for worker in &self.workers {
+                let candidates = merged.clone();
+                let partial = worker.call(move |alg| {
+                    candidates
+                        .iter()
+                        .map(|p| alg.estimate(p))
+                        .collect::<Vec<f64>>()
+                });
+                for (total, part) in totals.iter_mut().zip(partial) {
+                    *total += part;
+                }
+            }
+            let mut keep = totals.iter().map(|t| *t >= floor);
+            merged.retain(|_| keep.next().unwrap_or(false));
+        }
+        merged.sort_unstable();
+        merged
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.flush();
+        self.workers
+            .iter()
+            .map(|w| w.call(|alg| alg.space_bytes()))
+            .sum()
+    }
+
+    fn processed(&self) -> u64 {
+        self.flush();
+        self.workers
+            .iter()
+            .map(|w| w.call(|alg| alg.processed()))
+            .sum()
+    }
+
+    fn is_interval(&self) -> bool {
+        self.interval
+    }
+
+    fn reset_interval(&mut self) {
+        self.flush();
+        for worker in &self.workers {
+            worker.send(Box::new(|alg| alg.reset_interval()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memento_hierarchy::{Prefix1D, SrcHierarchy};
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn sharded_h_memento_finds_the_planted_subnet() {
+        let window = 12_000;
+        let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 4, 4_096, window, 1.0, 0.01, 3);
+        // 50% of traffic from 10.0.0.0/8 spread over many hosts (so every
+        // shard sees its share), the rest scattered.
+        let items: Vec<u32> = (0..window as u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    addr(10, (i % 199) as u8, (i % 251) as u8, (i % 13) as u8)
+                } else {
+                    addr(
+                        20 + (i % 97) as u8,
+                        (i % 231) as u8,
+                        (i % 11) as u8,
+                        (i % 17) as u8,
+                    )
+                }
+            })
+            .collect();
+        sharded.update_batch(&items);
+        assert_eq!(sharded.processed(), window as u64);
+        assert!(sharded.space_bytes() > 0);
+        let output = sharded.output(0.3);
+        assert!(
+            output.contains(&Prefix1D::new(addr(10, 0, 0, 0), 8)),
+            "planted /8 missing from {output:?}"
+        );
+        // The /8 estimate sums the per-shard views and must cover the true
+        // count (each per-shard estimate is an upper bound on its share).
+        assert!(sharded.estimate(&Prefix1D::new(addr(10, 0, 0, 0), 8)) >= window as f64 * 0.5);
+        assert!(!sharded.is_interval());
+    }
+
+    #[test]
+    fn output_rejects_shard_local_heavy_hitters() {
+        // One host carries ~12% of global traffic; on 4 shards it owns a
+        // much larger fraction of its own shard's stream, so its shard
+        // reports it at θ = 0.3 — the merged output must not.
+        let window = 8_000;
+        let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 4, 4_096, window, 1.0, 0.01, 7);
+        let hot = addr(10, 1, 2, 3);
+        let items: Vec<u32> = (0..window as u32)
+            .map(|i| {
+                if i % 8 == 0 {
+                    hot
+                } else {
+                    // Scattered background across many /8s and hosts.
+                    addr(
+                        30 + (i % 101) as u8,
+                        (i % 241) as u8,
+                        (i % 13) as u8,
+                        (i % 17) as u8,
+                    )
+                }
+            })
+            .collect();
+        sharded.update_batch(&items);
+        let output = sharded.output(0.3);
+        assert!(
+            !output.contains(&Prefix1D::new(hot, 32)),
+            "a 12%-of-traffic host must not pass θ = 0.3: {output:?}"
+        );
+        // It does pass once θ drops below its true global share.
+        let output = sharded.output(0.05);
+        assert!(
+            output.contains(&Prefix1D::new(hot, 32)),
+            "the host must appear at θ = 0.05: {output:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_h_memento() {
+        let window = 6_000;
+        let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 1, 512, window, 1.0, 0.01, 9);
+        let mut single = HMemento::new(SrcHierarchy, 512, window, 1.0, 0.01, 9);
+        let items: Vec<u32> = (0..window as u32)
+            .map(|i| addr((i % 7) as u8, (i % 53) as u8, 0, (i % 3) as u8))
+            .collect();
+        sharded.update_batch(&items);
+        for &item in &items {
+            single.update(item);
+        }
+        let p = Prefix1D::new(0, 8);
+        assert_eq!(
+            HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p),
+            HMemento::estimate(&single, &p)
+        );
+        assert_eq!(sharded.processed(), single.processed());
+    }
+}

@@ -1,0 +1,61 @@
+//! # memento-shard
+//!
+//! Multi-core sharding engine for the Memento reproduction: scales any
+//! [`SlidingWindowEstimator`](memento_core::traits::SlidingWindowEstimator)
+//! or [`HhhAlgorithm`](memento_core::traits::HhhAlgorithm) across worker
+//! threads while answering the *same* window queries through the *same*
+//! object-safe traits.
+//!
+//! The paper's headline result is line-rate single-core processing (§5); the
+//! system this reproduction grows toward also has to scale *out* when one
+//! core is not enough. The engine applies the standard recipe from
+//! partitioned streaming measurement (the mergeable-summary view of the
+//! sliding-window heavy-hitter literature, Braverman et al.):
+//!
+//! * **hash-partition** keys over `N` shards, so each flow's traffic lands
+//!   wholly in one shard;
+//! * give each shard a window of `⌈W/N⌉` packets — hashing spreads the
+//!   stream uniformly, so a shard's window covers (in expectation) the same
+//!   stretch of the global stream as a single `W`-packet window;
+//! * feed shards *batches* over bounded channels, reusing each algorithm's
+//!   `update_batch` fast path (for Memento, the geometric skip sampling of
+//!   §5) and getting backpressure for free;
+//! * **merge** per-shard answers at query time: route per-flow queries to
+//!   the owning shard, union heavy-hitter sets, sum prefix estimates.
+//!
+//! Queries piggyback on the per-shard update FIFO, so they observe every
+//! preceding update without locks around the algorithm state.
+//!
+//! ## Example
+//!
+//! ```
+//! use memento_core::traits::SlidingWindowEstimator;
+//! use memento_shard::ShardedEstimator;
+//!
+//! // A window of 40_000 packets split over 4 worker threads.
+//! let mut sharded: ShardedEstimator<u64> = ShardedEstimator::memento(4, 256, 40_000, 1.0, 7);
+//! let keys: Vec<u64> = (0..20_000u64).map(|i| i % 500).collect();
+//! sharded.update_batch(&keys);
+//! assert_eq!(sharded.processed(), 20_000);
+//! assert!(sharded.estimate(&0) >= 40.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimator;
+mod hhh;
+mod worker;
+
+pub use estimator::{BoxedEstimator, ShardedEstimator};
+pub use hhh::{BoxedHhh, ShardedHhh};
+
+/// Default number of keys buffered per shard before a batch is shipped to
+/// the worker. Large enough to amortize the channel send and let the
+/// geometric-skip batch path stride, small enough to keep queries fresh.
+pub const DEFAULT_FLUSH_THRESHOLD: usize = 2_048;
+
+/// Default bound of each worker's job queue, in batches. Bounds the number
+/// of in-flight batches per shard (backpressure) to keep memory flat when
+/// the producer outruns a worker.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;

@@ -8,7 +8,7 @@
 //!
 //! The implementation is index-based (no `unsafe`, no pointer juggling):
 //! counter slots live in a `Vec`, bucket nodes live in a `Vec` with a free
-//! list, and links are `usize` indices with [`NIL`] as the null sentinel.
+//! list, and links are `usize` indices with `NIL` as the null sentinel.
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -14,6 +14,7 @@
 //! | [`traces`] | `memento-traces` | synthetic traces, flood injection, trace I/O |
 //! | [`baselines`] | `memento-baselines` | MST, window-MST, RHHH, detection disciplines, exact oracles |
 //! | [`netwide`] | `memento-netwide` | D-Memento / D-H-Memento, communication methods, simulator |
+//! | [`shard`] | `memento-shard` | multi-core sharding engine for estimators and HHH algorithms |
 //! | [`lb`] | `memento-lb` | load-balancer substrate, ACL mitigation, HTTP-flood scenario |
 //!
 //! The most common entry points are also re-exported at the top level.
@@ -39,6 +40,7 @@ pub use memento_core as core;
 pub use memento_hierarchy as hierarchy;
 pub use memento_lb as lb;
 pub use memento_netwide as netwide;
+pub use memento_shard as shard;
 pub use memento_sketches as sketches;
 pub use memento_traces as traces;
 
@@ -47,4 +49,5 @@ pub use memento_core::{analysis, traits, HMemento, Memento, Wcss};
 pub use memento_core::{HhhAlgorithm, SlidingWindowEstimator};
 pub use memento_hierarchy::{Hierarchy, Prefix1D, Prefix2D, SrcDstHierarchy, SrcHierarchy};
 pub use memento_netwide::{CommMethod, DHMementoController, DMementoController, NetworkSimulator};
+pub use memento_shard::{ShardedEstimator, ShardedHhh};
 pub use memento_traces::{Packet, TraceGenerator, TracePreset};

@@ -1,0 +1,152 @@
+//! Cross-crate tests of the multi-core sharding engine: property-based
+//! equivalence against the single-threaded estimators on deterministic
+//! paths, and a trait-object smoke test showing the engine rides behind the
+//! same `SlidingWindowEstimator` surface as everything else.
+
+use memento::sketches::ExactWindow;
+use memento::traits::SlidingWindowEstimator;
+use memento::{ShardedEstimator, TraceGenerator, TracePreset, Wcss};
+use proptest::prelude::*;
+
+/// The shard counts the satellite task calls out.
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On the fully deterministic path (WCSS = Memento with τ = 1), a
+    /// sharded estimator over N ∈ {1, 2, 4} shards answers exactly like the
+    /// single-threaded estimator while every packet is still inside each
+    /// shard's window: per-flow window totals, the heavy-hitter set and the
+    /// processed count all match.
+    ///
+    /// The configuration is chosen so the deterministic states coincide:
+    /// window and counters divide evenly by every shard count (equal block
+    /// sizes on both sides), per-shard counters cover the key universe (no
+    /// Space-Saving evictions), and the stream is shorter than a per-shard
+    /// window (nothing expires on either side).
+    #[test]
+    fn sharded_wcss_matches_single_threaded_window_totals(
+        stream in prop::collection::vec(0u64..10, 50..1500),
+        shard_idx in 0usize..3,
+    ) {
+        let shards = SHARD_SWEEP[shard_idx];
+        let window = 8_000; // divisible by 1, 2, 4; W/N >= 2000 > |stream|
+        let counters = 40; // >= 10 keys per shard even at N = 4
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::wcss(shards, counters, window);
+        let mut single: Wcss<u64> = Wcss::new(counters, window);
+        for &key in &stream {
+            sharded.update(key);
+            single.update(key);
+        }
+        prop_assert_eq!(sharded.processed(), stream.len() as u64);
+        prop_assert_eq!(sharded.processed(), Wcss::processed(&single));
+        for key in 0u64..10 {
+            prop_assert_eq!(
+                sharded.estimate(&key).to_bits(),
+                Wcss::estimate(&single, &key).to_bits(),
+                "estimates diverge for key {} at {} shards", key, shards
+            );
+        }
+        // Same per-key estimates => same heavy-hitter sets at any threshold.
+        let threshold = stream.len() as f64 * 0.2;
+        let mut merged = sharded.heavy_hitters(threshold);
+        let mut expected = Wcss::heavy_hitters(&single, threshold);
+        merged.sort_by_key(|(k, _)| *k);
+        expected.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(merged, expected);
+    }
+
+    /// With an exact per-shard oracle the equivalence needs no counter
+    /// assumptions: any stream shorter than a per-shard window yields
+    /// exactly the single exact-window counts, for every shard count.
+    #[test]
+    fn sharded_exact_matches_exact_window_counts(
+        stream in prop::collection::vec(0u64..200, 50..1500),
+        shard_idx in 0usize..3,
+    ) {
+        let shards = SHARD_SWEEP[shard_idx];
+        let window = 8_000;
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(shards, window);
+        let mut oracle: ExactWindow<u64> = ExactWindow::new(window);
+        // Arbitrary batch splits exercise the channel path.
+        for part in stream.chunks(97) {
+            sharded.update_batch(part);
+        }
+        for &key in &stream {
+            oracle.add(key);
+        }
+        prop_assert_eq!(sharded.processed(), stream.len() as u64);
+        for key in 0u64..200 {
+            prop_assert_eq!(
+                sharded.estimate(&key),
+                oracle.query(&key) as f64,
+                "exact counts diverge for key {} at {} shards", key, shards
+            );
+        }
+    }
+}
+
+/// The sharded engine behind `Box<dyn SlidingWindowEstimator<u64>>`, next to
+/// the single-threaded estimators, driven by one shared loop — the same
+/// pattern the figure harnesses and detectors use.
+#[test]
+fn sharded_estimators_ride_behind_the_trait_object() {
+    let window = 40_000;
+    let counters = 512;
+    // Short enough that no per-shard window (W/4 = 10_000) expires: the
+    // error bounds then hold sharded exactly as they do single-threaded.
+    let packets: Vec<u64> = {
+        let mut gen = TraceGenerator::new(TracePreset::datacenter(), 99);
+        (0..8_000).map(|_| gen.next_packet().flow()).collect()
+    };
+
+    let mut estimators: Vec<Box<dyn SlidingWindowEstimator<u64>>> = vec![
+        Box::new(Wcss::new(counters, window)),
+        Box::new(ShardedEstimator::wcss(2, counters, window)),
+        Box::new(ShardedEstimator::wcss(4, counters, window)),
+        Box::new(ShardedEstimator::memento(4, counters, window, 1.0, 3)),
+        Box::new(ShardedEstimator::exact(3, window)),
+    ];
+
+    let mut oracle: ExactWindow<u64> = ExactWindow::new(window);
+    for chunk in packets.chunks(1_024) {
+        for est in &mut estimators {
+            est.update_batch(chunk);
+        }
+        for &flow in chunk {
+            oracle.add(flow);
+        }
+    }
+
+    let heavy: Vec<(u64, u64)> = oracle.heavy_hitters((packets.len() / 50) as u64);
+    assert!(!heavy.is_empty(), "trace produced no heavy flows");
+    let top = heavy[0].0;
+
+    for est in &estimators {
+        assert!(est.mergeable(), "{} must be mergeable", est.name());
+        assert_eq!(
+            est.processed(),
+            packets.len() as u64,
+            "{} lost packets",
+            est.name()
+        );
+        assert!(est.space_bytes() > 0, "{} reports no memory", est.name());
+        let bound = est.error_bound();
+        assert!(bound.is_finite(), "{} has no finite bound", est.name());
+        for &(flow, real) in &heavy {
+            let err = (est.estimate(&flow) - real as f64).abs();
+            assert!(
+                err <= bound,
+                "{}: flow {flow:x} off by {err}, bound {bound}",
+                est.name()
+            );
+        }
+        let reported = est.heavy_hitters(0.5 * heavy[0].1 as f64);
+        assert!(
+            reported.iter().any(|(k, _)| *k == top),
+            "{} missed the top flow",
+            est.name()
+        );
+    }
+}

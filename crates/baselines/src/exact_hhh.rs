@@ -62,6 +62,15 @@ where
         self.processed += 1;
     }
 
+    /// Advances the window over `n` packets observed elsewhere without
+    /// recording them: global-position eviction on the inner exact window.
+    /// Each packet occupies `H` entry positions (one per generalization),
+    /// so the inner window of `W·H` entries advances by `n·H`.
+    pub fn skip(&mut self, n: u64) {
+        self.counts.skip(n * self.hier.h() as u64);
+        self.processed += n;
+    }
+
     /// Exact window frequency of a prefix.
     pub fn frequency(&self, prefix: &Hi::Prefix) -> u64 {
         self.counts.query(prefix)
@@ -116,6 +125,12 @@ where
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         ExactWindowHhh::update(self, item);
+    }
+
+    /// Global-position eviction on the inner exact window
+    /// ([`ExactWindowHhh::skip`]).
+    fn skip(&mut self, n: u64) {
+        ExactWindowHhh::skip(self, n);
     }
 
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {

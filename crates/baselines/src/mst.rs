@@ -150,6 +150,11 @@ where
         Mst::update(self, item);
     }
 
+    /// No-op: MST is an interval algorithm — it counts everything since its
+    /// last reset and has no sliding window to advance, so packets observed
+    /// elsewhere are simply outside its interval.
+    fn skip(&mut self, _n: u64) {}
+
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
         Mst::estimate(self, prefix)
     }
@@ -172,6 +177,13 @@ where
 
     fn reset_interval(&mut self) {
         self.reset();
+    }
+
+    /// Interval semantics opt out: `skip` is a no-op here, so an MST
+    /// instance cannot anchor a partition's window at the global stream
+    /// position and the sharded-window engines refuse it at construction.
+    fn mergeable(&self) -> bool {
+        false
     }
 }
 

@@ -193,6 +193,11 @@ where
         Rhhh::update(self, item);
     }
 
+    /// No-op: RHHH is an interval algorithm — it counts everything since
+    /// its last reset and has no sliding window to advance, so packets
+    /// observed elsewhere are simply outside its interval.
+    fn skip(&mut self, _n: u64) {}
+
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
         Rhhh::estimate(self, prefix)
     }
@@ -215,6 +220,13 @@ where
 
     fn reset_interval(&mut self) {
         self.reset();
+    }
+
+    /// Interval semantics opt out: `skip` is a no-op here, so an RHHH
+    /// instance cannot anchor a partition's window at the global stream
+    /// position and the sharded-window engines refuse it at construction.
+    fn mergeable(&self) -> bool {
+        false
     }
 }
 

@@ -72,6 +72,16 @@ where
         }
     }
 
+    /// Advances the window over `n` packets observed elsewhere: fans out to
+    /// every per-pattern WCSS instance (each tracks the same stream, keyed
+    /// by a different generalization), `H` bulk advances of O(1) amortized
+    /// each.
+    pub fn skip(&mut self, n: u64) {
+        for instance in &mut self.instances {
+            instance.skip(n);
+        }
+    }
+
     /// Estimated window frequency of a prefix (upper bound).
     pub fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
         let idx = self.hier.pattern_index(prefix);
@@ -143,6 +153,12 @@ where
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         WindowMst::update(self, item);
+    }
+
+    /// Bulk window advance fanned out over the `H` per-pattern WCSS
+    /// instances ([`WindowMst::skip`]).
+    fn skip(&mut self, n: u64) {
+        WindowMst::skip(self, n);
     }
 
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {

@@ -7,10 +7,17 @@
 //! (`BENCH_pr.json`, schema in `memento_bench::gate`), and fails when
 //!
 //! * a configuration's throughput regressed beyond the noise tolerance
-//!   against the committed baseline, or
+//!   against the committed baseline,
 //! * the sharded engine no longer scales (the 4-shard Memento falls below
 //!   2× the single-core throughput, checked only when the host has ≥ 4
-//!   cores so CI containers with tiny CPU quotas don't flap).
+//!   cores so CI containers with tiny CPU quotas don't flap), or
+//! * sharded accuracy blows up on the skewed workload (schema v2): a
+//!   sharded configuration's on-arrival RMSE exceeding 2× its single-shard
+//!   reference means the global-position windows regressed to the old
+//!   `W/N` under-coverage failure mode.
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (GitHub Actions), the gate verdict is
+//! also appended there as markdown.
 //!
 //! Usage: `perf_gate [--full] [--write-baseline] [--output PATH]
 //! [--baseline PATH]`. Environment: `PERF_GATE_TOLERANCE` (fractional
@@ -19,7 +26,8 @@
 //! `cargo run --release --bin perf_gate -- --write-baseline`.
 
 use memento_bench::gate::{
-    calibration_mops, compare_throughput, GateReport, GateRow, GATE_SCHEMA_VERSION,
+    calibration_mops, check_rmse_blowup, compare_throughput, GateReport, GateRow,
+    GATE_SCHEMA_VERSION,
 };
 use memento_bench::{full_scale, make_trace, measure_mpps, on_arrival_rmse, scaled};
 use memento_core::traits::SlidingWindowEstimator;
@@ -37,6 +45,12 @@ const PASSES: usize = 3;
 
 /// Shard counts measured for the sharded engine.
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Maximum sharded-vs-single on-arrival RMSE ratio on the skewed workload
+/// (the schema-v2 accuracy rule): global-position windows keep sharded
+/// accuracy at the single-shard level, so 2× is generous headroom — the
+/// old count-based `W/N` windows sat at ~27×.
+const RMSE_BLOWUP_LIMIT: f64 = 2.0;
 
 struct GateConfig {
     packets: usize,
@@ -82,6 +96,7 @@ fn main() {
     // Single-core references.
     rows.push(measure_row(
         &config,
+        &preset,
         1,
         config.tau,
         &keys,
@@ -95,15 +110,24 @@ fn main() {
             ))
         },
     ));
-    rows.push(measure_row(&config, 1, 1.0, &keys, accuracy_keys, || {
-        Box::new(Wcss::new(config.counters, config.window))
-    }));
+    rows.push(measure_row(
+        &config,
+        &preset,
+        1,
+        1.0,
+        &keys,
+        accuracy_keys,
+        || Box::new(Wcss::new(config.counters, config.window)),
+    ));
 
-    // The sharded engine across the shard sweep (same total window and
-    // counter budget, split across shards).
+    // The sharded engine across the shard sweep: every shard keeps a full
+    // `W` global-position window with the full counter budget, so the
+    // sharded rows are directly comparable (same error bound) to the
+    // single-core references.
     for &shards in &SHARD_SWEEP {
         rows.push(measure_row(
             &config,
+            &preset,
             shards,
             config.tau,
             &keys,
@@ -122,6 +146,7 @@ fn main() {
     for &shards in &SHARD_SWEEP[1..] {
         rows.push(measure_row(
             &config,
+            &preset,
             shards,
             1.0,
             &keys,
@@ -170,6 +195,17 @@ fn main() {
     let mut failures = Vec::new();
     check_speedup(&report, &mut failures);
 
+    // Schema-v2 accuracy rule: sharded on-arrival RMSE must track the
+    // single-shard reference on the skewed workload.
+    let rmse_violations = check_rmse_blowup(&report, RMSE_BLOWUP_LIMIT);
+    if rmse_violations.is_empty() {
+        eprintln!(
+            "perf_gate: sharded on-arrival RMSE within {RMSE_BLOWUP_LIMIT}x of the \
+             single-shard references"
+        );
+    }
+    failures.extend(rmse_violations);
+
     if write_baseline {
         if let Some(parent) = std::path::Path::new(&baseline_path).parent() {
             std::fs::create_dir_all(parent)
@@ -184,6 +220,7 @@ fn main() {
         compare_with_baseline(&report, &baseline_path, &mut failures);
     }
 
+    write_step_summary(&report, &failures);
     if failures.is_empty() {
         eprintln!("perf_gate: PASS");
     } else {
@@ -194,10 +231,57 @@ fn main() {
     }
 }
 
+/// Appends the gate verdict (and the measured matrix) to the GitHub
+/// Actions step summary when `GITHUB_STEP_SUMMARY` points at a writable
+/// file; silently does nothing elsewhere.
+fn write_step_summary(report: &GateReport, failures: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = String::new();
+    md.push_str(if failures.is_empty() {
+        "## Perf gate: PASS ✅\n\n"
+    } else {
+        "## Perf gate: FAIL ❌\n\n"
+    });
+    for failure in failures {
+        md.push_str(&format!("- **FAIL** {failure}\n"));
+    }
+    md.push_str(&format!(
+        "\n{} rows, {} mode, {} preset, calibration {:.0} mops\n\n\
+         | algorithm | shards | τ | mpps | on-arrival RMSE |\n|---|---|---|---|---|\n",
+        report.rows.len(),
+        report.mode,
+        report.trace_preset,
+        report.calibration_mops
+    ));
+    for row in &report.rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {} |\n",
+            row.algorithm,
+            row.shards,
+            row.tau,
+            row.mpps,
+            row.on_arrival_rmse
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "—".to_string())
+        ));
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()))
+    {
+        eprintln!("perf_gate: could not write step summary {path}: {e}");
+    }
+}
+
 /// Measures one configuration: best-of-N chunked `update_batch` throughput
 /// plus on-arrival RMSE on the accuracy prefix of the trace.
 fn measure_row(
     config: &GateConfig,
+    preset: &TracePreset,
     shards: usize,
     tau: f64,
     keys: &[u64],
@@ -237,6 +321,7 @@ fn measure_row(
         shards,
         tau,
         counters: config.counters,
+        workload: preset.name.to_string(),
         mpps: best,
         on_arrival_rmse: Some(rmse.value()),
     }

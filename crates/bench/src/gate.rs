@@ -342,7 +342,13 @@ impl Parser<'_> {
 // ---------------------------------------------------------------------------
 
 /// Schema version stamped into every report; bump on breaking changes.
-pub const GATE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (global-position sharded windows): rows carry a `workload` name for
+/// their accuracy measurement, `counters` means *per-shard* counters, and
+/// the gate enforces [`check_rmse_blowup`] — sharded on-arrival RMSE must
+/// stay within a small factor of the single-shard reference on the skewed
+/// workload.
+pub const GATE_SCHEMA_VERSION: u64 = 2;
 
 /// One measured configuration: an algorithm at a shard count.
 #[derive(Debug, Clone, PartialEq)]
@@ -353,8 +359,12 @@ pub struct GateRow {
     pub shards: usize,
     /// Full-update probability τ of the configuration.
     pub tau: f64,
-    /// Total Space-Saving counters across all shards.
+    /// Space-Saving counters per shard (every shard keeps a full
+    /// global-position window, so counters do not split across shards).
     pub counters: usize,
+    /// Name of the trace workload this row's accuracy was measured on
+    /// (skewed Zipf presets exercise the sharded-window positioning).
+    pub workload: String,
     /// Update throughput in million packets per second (best of the
     /// measured passes).
     pub mpps: f64,
@@ -398,6 +408,7 @@ impl GateReport {
                     ("shards".to_string(), Json::Num(r.shards as f64)),
                     ("tau".to_string(), Json::Num(r.tau)),
                     ("counters".to_string(), Json::Num(r.counters as f64)),
+                    ("workload".to_string(), Json::Str(r.workload.clone())),
                     ("mpps".to_string(), Json::Num(round_sig(r.mpps))),
                 ];
                 members.push((
@@ -480,6 +491,11 @@ impl GateReport {
                     .get("counters")
                     .and_then(Json::as_f64)
                     .ok_or("row missing counters")? as usize,
+                workload: row
+                    .get("workload")
+                    .and_then(Json::as_str)
+                    .ok_or("row missing workload")?
+                    .to_string(),
                 mpps: row
                     .get("mpps")
                     .and_then(Json::as_f64)
@@ -592,6 +608,53 @@ pub fn compare_throughput(
     violations
 }
 
+/// The schema-v2 accuracy rule: on every workload where both were
+/// measured, a sharded configuration's on-arrival RMSE must stay within
+/// `max_ratio` of its single-threaded reference (`sharded-memento@N` vs
+/// `memento@1`, `sharded-wcss@N` vs `wcss@1`, …). This is the regression
+/// the global-position windows exist to prevent: count-based `W/N` shard
+/// windows under-covered skewed workloads and blew the sharded RMSE up by
+/// ~27× at 4 shards. A small absolute slack (half the reference RMSE,
+/// at least 5 packets) absorbs measurement noise on near-zero references.
+/// Returns the violations (empty = rule passes).
+pub fn check_rmse_blowup(report: &GateReport, max_ratio: f64) -> Vec<String> {
+    assert!(max_ratio >= 1.0, "max_ratio must be at least 1");
+    let mut violations = Vec::new();
+    for row in &report.rows {
+        let Some(single_name) = row.algorithm.strip_prefix("sharded-") else {
+            continue;
+        };
+        let Some(rmse) = row.on_arrival_rmse else {
+            continue;
+        };
+        let reference = report.rows.iter().find(|r| {
+            r.algorithm == single_name
+                && r.shards == 1
+                && r.workload == row.workload
+                && r.on_arrival_rmse.is_some()
+        });
+        let Some(reference) = reference else { continue };
+        let base = reference.on_arrival_rmse.expect("filtered above");
+        let ceiling = base * max_ratio + (base * 0.5).max(5.0);
+        if rmse > ceiling {
+            violations.push(format!(
+                "{}@{} shards on-arrival RMSE blew up on the {} workload: {:.1} > {:.1} \
+                 ({:.1}x the single-shard {} RMSE of {:.1}, limit {:.1}x)",
+                row.algorithm,
+                row.shards,
+                row.workload,
+                rmse,
+                ceiling,
+                rmse / base.max(1e-9),
+                single_name,
+                base,
+                max_ratio
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,8 +677,16 @@ mod tests {
             shards,
             tau: 0.25,
             counters: 4096,
+            workload: "datacenter".to_string(),
             mpps,
             on_arrival_rmse: Some(12.5),
+        }
+    }
+
+    fn rmse_row(algorithm: &str, shards: usize, rmse: Option<f64>) -> GateRow {
+        GateRow {
+            on_arrival_rmse: rmse,
+            ..row(algorithm, shards, 10.0)
         }
     }
 
@@ -696,6 +767,55 @@ mod tests {
         // …while 6.9 mpps (−31% of 10) is not.
         current.rows[0].mpps = 6.9;
         assert_eq!(compare_throughput(&current, &baseline, 0.30).len(), 1);
+    }
+
+    #[test]
+    fn rmse_blowup_rule_flags_sharded_regressions_only() {
+        // The PR-2 failure mode: single-shard RMSE ~123, 4-shard ~3308.
+        let bad = report(vec![
+            rmse_row("memento", 1, Some(123.0)),
+            rmse_row("sharded-memento", 1, Some(123.0)),
+            rmse_row("sharded-memento", 4, Some(3308.0)),
+        ]);
+        let violations = check_rmse_blowup(&bad, 2.0);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("sharded-memento@4"));
+        assert!(violations[0].contains("blew up"));
+
+        // Global-position windows: sharded RMSE tracks the single-shard
+        // reference (within the ratio + noise slack).
+        let good = report(vec![
+            rmse_row("memento", 1, Some(123.0)),
+            rmse_row("sharded-memento", 2, Some(140.0)),
+            rmse_row("sharded-memento", 4, Some(180.0)),
+            rmse_row("wcss", 1, Some(47.0)),
+            rmse_row("sharded-wcss", 4, Some(60.0)),
+        ]);
+        assert!(check_rmse_blowup(&good, 2.0).is_empty());
+    }
+
+    #[test]
+    fn rmse_blowup_rule_skips_unmatched_rows() {
+        // No single-shard reference, a missing RMSE, and a different
+        // workload are all ignored rather than failed.
+        let mut other_workload = rmse_row("memento", 1, Some(1.0));
+        other_workload.workload = "backbone".to_string();
+        let report = report(vec![
+            rmse_row("sharded-memento", 4, Some(10_000.0)),
+            rmse_row("sharded-wcss", 4, None),
+            other_workload,
+        ]);
+        assert!(check_rmse_blowup(&report, 2.0).is_empty());
+    }
+
+    #[test]
+    fn rmse_blowup_slack_tolerates_tiny_references() {
+        // A near-zero reference must not fail on a few packets of noise.
+        let report = report(vec![
+            rmse_row("wcss", 1, Some(0.5)),
+            rmse_row("sharded-wcss", 4, Some(4.0)), // 8x, but within +5 slack
+        ]);
+        assert!(check_rmse_blowup(&report, 2.0).is_empty());
     }
 
     #[test]

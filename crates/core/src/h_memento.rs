@@ -136,6 +136,15 @@ where
         self.memento.window_update();
     }
 
+    /// Advances the window over `n` packets observed elsewhere without
+    /// recording them. All prefix levels share the single underlying
+    /// [`Memento`], so the bulk advance fans into one
+    /// [`Memento::skip`] call — exactly `n` unrecorded
+    /// [`Self::window_update`]s in O(1) amortized time.
+    pub fn skip(&mut self, n: u64) {
+        self.memento.skip(n);
+    }
+
     /// Creates an instance sized from an algorithm error `ε_a`: the paper
     /// allocates `H/ε_a` counters (Theorem A.19).
     pub fn with_epsilon(

@@ -334,6 +334,49 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         self.batch_skip = Some(skip);
     }
 
+    /// Processes a *gap-stamped* batch: before each `keys[i]` the window
+    /// advances over `gaps[i]` packets recorded elsewhere (another shard of
+    /// a partitioned deployment). The foreign packets are pure window
+    /// advances — they are sampled by their owners, so they never consume
+    /// this instance's geometric skip — while the instance's own keys are
+    /// τ-sampled exactly as in [`Self::update_batch`]: with all gaps zero
+    /// the two paths are bit-for-bit identical. Owed window positions
+    /// (gaps plus unsampled own packets) accumulate and are advanced in
+    /// bulk right before each Full update, so the per-key constant work
+    /// stays at the batch path's level.
+    pub fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
+        if self.tau >= 1.0 {
+            for (gap, key) in gaps.iter().zip(keys) {
+                self.skip(*gap);
+                self.full_update(key.clone());
+            }
+            return;
+        }
+        let ln_keep = (1.0 - self.tau).ln();
+        let mut skip = match self.batch_skip.take() {
+            Some(s) => s,
+            None => self.draw_skip(ln_keep),
+        };
+        // Window positions owed before the next Full update: foreign gaps
+        // plus own packets the sampler passed over.
+        let mut pending: u64 = 0;
+        for (gap, key) in gaps.iter().zip(keys) {
+            pending += gap;
+            if skip == 0 {
+                self.skip(pending);
+                pending = 0;
+                self.full_update(key.clone());
+                skip = self.draw_skip(ln_keep);
+            } else {
+                skip -= 1;
+                pending += 1;
+            }
+        }
+        self.skip(pending);
+        self.batch_skip = Some(skip);
+    }
+
     /// Draws a geometric skip (failures before the next success at rate τ)
     /// from the random-number table via inversion.
     #[inline]
@@ -343,11 +386,35 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         (u.ln() / ln_keep) as u64
     }
 
-    /// Advances the window by `n` packets at once: equivalent to `n`
-    /// [`Self::window_update`] calls, but walking block boundaries instead of
-    /// packets. Frame flushes and block rotations fire at exactly the same
-    /// stream positions; the de-amortized overflow draining spends the same
-    /// budget of at most `n` retirements.
+    /// Advances the window over `n` packets observed *elsewhere* — other
+    /// shards of a hash-partitioned deployment, other measurement points of
+    /// a network-wide one — without recording them: exactly equivalent to
+    /// `n` [`Self::window_update`] calls (bit-for-bit, asserted by the
+    /// workspace's property tests), but O(1) amortized via bulk block
+    /// rotation instead of `n` per-packet walks. This is the D-Memento-style
+    /// bulk window update of §6 that lets a partitioned instance keep its
+    /// window at the *global* stream position.
+    ///
+    /// Does not touch the geometric-skip state of
+    /// [`Self::update_batch`]: skipped packets are recorded by their owners
+    /// and are not candidates for this instance's τ-sampling.
+    pub fn skip(&mut self, mut n: u64) {
+        // `advance_window` takes usize; chunk for 32-bit targets.
+        while n > 0 {
+            let step = n.min(usize::MAX as u64);
+            self.advance_window(step as usize);
+            n -= step;
+        }
+    }
+
+    /// Advances the window by `n` packets at once: *exactly* equivalent to
+    /// `n` [`Self::window_update`] calls, but walking block boundaries
+    /// instead of packets. Frame flushes and block rotations fire at the
+    /// same stream positions, and the de-amortized overflow draining spends
+    /// its one-pop-per-packet budget against the same queues a per-packet
+    /// walk would: `step − 1` pops before a rotation (the packets inside the
+    /// old block) and one pop right after it (the packet that crossed the
+    /// boundary pops from the freshly rotated-in queue).
     fn advance_window(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -358,12 +425,15 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             let to_block = self.block_size - (self.m % self.block_size);
             let to_frame = self.window - self.m;
             let to_event = to_block.min(to_frame);
-            let step = left.min(to_event);
-            self.m += step;
-            left -= step;
-            if step < to_event {
-                break; // batch ends inside a block
+            if left < to_event {
+                // Ends inside a block: no boundary fires, only the drain.
+                self.m += left;
+                self.drain_expired(left);
+                return;
             }
+            self.m += to_event;
+            left -= to_event;
+            self.drain_expired(to_event - 1);
             if self.m == self.window {
                 // Frame boundary: in-frame counts restart, and the position
                 // is also a block boundary (m = 0).
@@ -374,9 +444,16 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             for key in dropped {
                 self.retire_overflow(&key);
             }
+            self.drain_expired(1);
         }
-        // De-amortized retirement, same budget as n per-packet updates.
-        for _ in 0..n {
+    }
+
+    /// De-amortized retirement of expired overflows: up to `budget` pops
+    /// (one per window position), stopping early when the oldest block's
+    /// queue is empty — it cannot refill before the next rotation, so
+    /// batching the pops is exactly equivalent to one pop per packet.
+    fn drain_expired(&mut self, budget: usize) {
+        for _ in 0..budget {
             match self.b.pop_oldest() {
                 Some(old) => self.retire_overflow(&old),
                 None => break,
@@ -759,6 +836,93 @@ mod tests {
             (ratio - tau).abs() < tau * 0.2,
             "batched full-update ratio {ratio}"
         );
+    }
+
+    /// `skip(n)` must be bit-for-bit the same as `n` unrecorded
+    /// `window_update` calls, at any alignment relative to block and frame
+    /// boundaries and with live overflow state to drain.
+    #[test]
+    fn skip_equals_window_updates_exactly() {
+        let window = 1_000;
+        let counters = 10; // block size 100
+        for &n in &[1u64, 7, 99, 100, 101, 250, 999, 1_000, 1_001, 5_000] {
+            let mut bulk = Memento::new(counters, window, 1.0, 5);
+            let mut per_packet = Memento::new(counters, window, 1.0, 5);
+            let mut rng = StdRng::seed_from_u64(n);
+            // Warm up with a skewed recorded stream so overflow queues and
+            // the B table are non-trivially populated.
+            for _ in 0..1_700u64 {
+                let key = (rng.gen::<f64>().powi(2) * 20.0) as u64;
+                bulk.update(key);
+                per_packet.update(key);
+            }
+            bulk.skip(n);
+            for _ in 0..n {
+                per_packet.window_update();
+            }
+            assert_eq!(bulk.processed(), per_packet.processed());
+            assert_eq!(bulk.tracked_overflows(), per_packet.tracked_overflows());
+            for key in 0..20u64 {
+                assert_eq!(
+                    bulk.estimate(&key).to_bits(),
+                    per_packet.estimate(&key).to_bits(),
+                    "skip({n}) diverges from window updates for key {key}"
+                );
+            }
+        }
+    }
+
+    /// With all gaps zero the fused positioned path is bit-for-bit the
+    /// plain geometric-skip batch path (same RNG draws, same advances).
+    #[test]
+    fn positioned_batch_with_zero_gaps_equals_update_batch() {
+        let window = 4_000;
+        let tau = 0.25;
+        let mut plain = Memento::new(64, window, tau, 17);
+        let mut positioned = Memento::new(64, window, tau, 17);
+        let mut rng = StdRng::seed_from_u64(33);
+        let keys: Vec<u64> = (0..3 * window).map(|_| rng.gen_range(0u64..200)).collect();
+        let zero_gaps = vec![0u64; 311];
+        for part in keys.chunks(311) {
+            plain.update_batch(part);
+            positioned.update_batch_positioned(&zero_gaps[..part.len()], part);
+        }
+        assert_eq!(plain.processed(), positioned.processed());
+        assert_eq!(plain.full_updates(), positioned.full_updates());
+        for flow in 0..200u64 {
+            assert_eq!(
+                plain.estimate(&flow).to_bits(),
+                positioned.estimate(&flow).to_bits(),
+                "fused path diverges for flow {flow}"
+            );
+        }
+    }
+
+    /// With gaps, the positioned path equals the naive skip+update replay
+    /// on the deterministic τ = 1 configuration.
+    #[test]
+    fn positioned_batch_equals_skip_update_replay_at_tau_one() {
+        let mut fused = Memento::new(32, 2_000, 1.0, 3);
+        let mut naive = Memento::new(32, 2_000, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let len = rng.gen_range(1..200usize);
+            let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..30)).collect();
+            let gaps: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..9)).collect();
+            fused.update_batch_positioned(&gaps, &keys);
+            for (gap, key) in gaps.iter().zip(&keys) {
+                naive.skip(*gap);
+                naive.full_update(*key);
+            }
+        }
+        assert_eq!(fused.processed(), naive.processed());
+        for flow in 0..30u64 {
+            assert_eq!(
+                fused.estimate(&flow).to_bits(),
+                naive.estimate(&flow).to_bits(),
+                "positioned replay diverges for flow {flow}"
+            );
+        }
     }
 
     #[test]

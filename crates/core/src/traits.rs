@@ -54,6 +54,49 @@ pub trait SlidingWindowEstimator<K: Clone> {
         }
     }
 
+    /// Advances the measurement window over `n` packets observed
+    /// *elsewhere* — another shard of a hash-partitioned deployment, another
+    /// measurement point of a network-wide one — without recording them.
+    ///
+    /// This is the D-Memento-style bulk window update (Memento paper, §6)
+    /// that lets a partitioned instance keep its window anchored at the
+    /// *global* stream position: after `skip(n)`, queries refer to the last
+    /// `W` packets of the combined stream, of which this instance recorded
+    /// only its own share. Implementations must be equivalent to `n`
+    /// unrecorded single-packet window advances but are expected to run in
+    /// O(1) amortized time (block rotation for Memento/WCSS, position
+    /// arithmetic for exact windows).
+    ///
+    /// Interval (landmark-window) estimators have no window to advance and
+    /// implement this as a documented no-op; they must also opt out of
+    /// [`mergeable`](Self::mergeable) so sharded-window engines refuse them
+    /// at construction.
+    fn skip(&mut self, n: u64);
+
+    /// Processes a *gap-stamped* batch: before each `keys[i]`, the window
+    /// advances over `gaps[i]` packets recorded elsewhere (the
+    /// `memento-shard` router stamps every key with the number of packets
+    /// routed to other shards since this shard's previous key, so a shard
+    /// replays its exact global positions).
+    ///
+    /// The provided implementation interleaves [`skip`](Self::skip) and
+    /// [`update`](Self::update) per key and must be the observable
+    /// behaviour of any override; implementors with a cheaper fused path
+    /// (Memento folds the gaps into its geometric-skip sampling walk)
+    /// override it.
+    ///
+    /// # Panics
+    /// Implementations may assume and assert `gaps.len() == keys.len()`.
+    fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
+        for (gap, key) in gaps.iter().zip(keys) {
+            if *gap > 0 {
+                self.skip(*gap);
+            }
+            self.update(key.clone());
+        }
+    }
+
     /// Estimated window frequency of `key`, in packets.
     fn estimate(&self, key: &K) -> f64;
 
@@ -76,16 +119,21 @@ pub trait SlidingWindowEstimator<K: Clone> {
 
     /// True when instances of this estimator running over *disjoint key
     /// partitions* of one stream answer the global window queries by simple
-    /// merging — a flow's estimate is the owning partition's estimate, the
-    /// global heavy-hitter set is the union of per-partition sets, and
-    /// `processed`/`space_bytes` add up. This is the mergeable-summary
-    /// property that the sliding-window heavy-hitter literature (Braverman
-    /// et al.) assumes for partitioned deployments, and what the
-    /// `memento-shard` engine requires of the estimators it scales across
-    /// cores. All workspace estimators qualify (their state is per-flow
-    /// counts plus stream position); an implementor whose queries depend on
-    /// cross-flow global state must opt out so sharded engines can refuse
-    /// it at construction.
+    /// merging, **provided every instance keeps its window at the global
+    /// stream position** (each partition advances over the other
+    /// partitions' packets via [`skip`](Self::skip)) — a flow's estimate is
+    /// then the owning partition's estimate and the global heavy-hitter set
+    /// is the union of per-partition sets. Simple merging alone does *not*
+    /// answer global-window queries: a partition whose window counts only
+    /// its own last `W/N` packets covers a skewed, flow-dependent stretch
+    /// of the global stream. This is the mergeable-sliding-window property
+    /// the heavy-hitter literature (Braverman et al.) assumes for
+    /// partitioned deployments, and what the `memento-shard` engine
+    /// requires of the estimators it scales across cores. An estimator
+    /// qualifies when its state is per-flow counts plus a stream position
+    /// it can advance via `skip`; interval estimators ([`SpaceSaving`]) and
+    /// implementors whose queries depend on cross-flow global state must
+    /// opt out so sharded-window engines can refuse them at construction.
     fn mergeable(&self) -> bool {
         true
     }
@@ -105,6 +153,20 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
     #[inline]
     fn update_batch(&mut self, keys: &[K]) {
         Memento::update_batch(self, keys);
+    }
+
+    /// O(1)-amortized bulk window advance via block rotation
+    /// ([`Memento::skip`]).
+    #[inline]
+    fn skip(&mut self, n: u64) {
+        Memento::skip(self, n);
+    }
+
+    /// The fused gap-aware τ-sampling path
+    /// ([`Memento::update_batch_positioned`]).
+    #[inline]
+    fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        Memento::update_batch_positioned(self, gaps, keys);
     }
 
     fn estimate(&self, key: &K) -> f64 {
@@ -155,6 +217,20 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
         self.as_memento_mut().update_batch(keys);
     }
 
+    /// O(1)-amortized bulk window advance via block rotation
+    /// ([`Wcss::skip`]).
+    #[inline]
+    fn skip(&mut self, n: u64) {
+        Wcss::skip(self, n);
+    }
+
+    /// The τ = 1 case of the fused gap-aware path: every own key is a Full
+    /// update, every gap a bulk advance.
+    #[inline]
+    fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        self.as_memento_mut().update_batch_positioned(gaps, keys);
+    }
+
     fn estimate(&self, key: &K) -> f64 {
         Wcss::estimate(self, key)
     }
@@ -184,6 +260,14 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
     #[inline]
     fn update(&mut self, key: K) {
         self.add(key);
+    }
+
+    /// Global-position eviction: the advance expires exactly the recorded
+    /// items that fall out of the last `W` stream positions
+    /// ([`ExactWindow::skip`]).
+    #[inline]
+    fn skip(&mut self, n: u64) {
+        ExactWindow::skip(self, n);
     }
 
     fn estimate(&self, key: &K) -> f64 {
@@ -223,6 +307,11 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
         self.add(key);
     }
 
+    /// No-op: an interval summary counts everything since its last flush
+    /// and has no sliding window to advance — packets observed elsewhere
+    /// are simply outside its interval.
+    fn skip(&mut self, _n: u64) {}
+
     fn estimate(&self, key: &K) -> f64 {
         self.query(key) as f64
     }
@@ -245,6 +334,14 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
     fn error_bound(&self) -> f64 {
         self.processed() as f64 / self.counters() as f64
     }
+
+    /// Interval semantics opt out explicitly: `skip` is a no-op here, so a
+    /// Space-Saving instance cannot keep a partition's window at the global
+    /// stream position and must not be placed behind a sharded-window
+    /// engine (the engines refuse it at construction).
+    fn mergeable(&self) -> bool {
+        false
+    }
 }
 
 /// A hierarchical heavy-hitters algorithm over a [`Hierarchy`].
@@ -258,6 +355,30 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     /// Processes a batch of packets (provided: the per-packet loop).
     fn update_batch(&mut self, items: &[Hi::Item]) {
         for &item in items {
+            self.update(item);
+        }
+    }
+
+    /// Advances the measurement window over `n` packets observed elsewhere
+    /// without recording them (see
+    /// [`SlidingWindowEstimator::skip`]): the D-Memento-style bulk window
+    /// update that keeps a partitioned instance's window at the global
+    /// stream position. Interval algorithms (MST, RHHH) have no window to
+    /// advance and implement this as a documented no-op.
+    fn skip(&mut self, n: u64);
+
+    /// Processes a gap-stamped batch: before each `items[i]`, the window
+    /// advances over `gaps[i]` packets recorded elsewhere (see
+    /// [`SlidingWindowEstimator::update_batch_positioned`]).
+    ///
+    /// # Panics
+    /// Implementations may assume and assert `gaps.len() == items.len()`.
+    fn update_batch_positioned(&mut self, gaps: &[u64], items: &[Hi::Item]) {
+        assert_eq!(gaps.len(), items.len(), "one gap stamp per item");
+        for (gap, &item) in gaps.iter().zip(items) {
+            if *gap > 0 {
+                self.skip(*gap);
+            }
             self.update(item);
         }
     }
@@ -290,10 +411,11 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
 
     /// True when instances over *disjoint item partitions* of one stream
     /// merge into the global answer by summing per-partition prefix
-    /// estimates and unioning per-partition HHH sets (see
-    /// [`SlidingWindowEstimator::mergeable`]; for hierarchies the merge is
-    /// summation because one prefix aggregates items from every partition).
-    /// Required by the `memento-shard` engine.
+    /// estimates and unioning per-partition HHH sets, **provided every
+    /// instance keeps its window at the global stream position** via
+    /// [`skip`](Self::skip) (see [`SlidingWindowEstimator::mergeable`]; for
+    /// hierarchies the merge is summation because one prefix aggregates
+    /// items from every partition). Required by the `memento-shard` engine.
     fn mergeable(&self) -> bool {
         true
     }
@@ -310,6 +432,13 @@ where
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         HMemento::update(self, item);
+    }
+
+    /// Bulk window advance through the single shared prefix-keyed Memento
+    /// ([`HMemento::skip`]).
+    #[inline]
+    fn skip(&mut self, n: u64) {
+        HMemento::skip(self, n);
     }
 
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {

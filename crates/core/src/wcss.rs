@@ -56,6 +56,13 @@ impl<K: Eq + Hash + Clone> Wcss<K> {
         self.inner.lower_bound(key)
     }
 
+    /// Advances the window over `n` packets observed elsewhere without
+    /// recording them — exactly `n` unrecorded window updates, in O(1)
+    /// amortized time (see [`Memento::skip`]).
+    pub fn skip(&mut self, n: u64) {
+        self.inner.skip(n);
+    }
+
     /// Flows whose estimated window frequency reaches `threshold` packets.
     pub fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
         self.inner.heavy_hitters(threshold)

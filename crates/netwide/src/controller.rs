@@ -70,8 +70,12 @@ impl<K: Eq + Hash + Clone> DMementoController<K> {
         DMementoController { memento }
     }
 
-    /// Ingests one report: Full updates for the samples, Window updates for
-    /// the remaining covered packets.
+    /// Ingests one report: Full updates for the samples, then one bulk
+    /// [`Memento::skip`] over the un-sampled remainder of the covered
+    /// packets — O(1) amortized in the report's coverage instead of one
+    /// window update per covered packet, the D-Memento-style bulk window
+    /// advance a measurement point with partial visibility needs to keep
+    /// the controller's window at the network-wide stream position.
     pub fn receive(&mut self, report: &Report<K>) {
         match &report.payload {
             ReportPayload::Samples(samples) => {
@@ -79,9 +83,7 @@ impl<K: Eq + Hash + Clone> DMementoController<K> {
                     self.memento.full_update(s.clone());
                 }
                 let rest = report.covered_packets.saturating_sub(samples.len() as u64);
-                for _ in 0..rest {
-                    self.memento.window_update();
-                }
+                self.memento.skip(rest);
             }
             ReportPayload::Aggregation(_) => {
                 panic!("DMementoController only handles Sample/Batch reports")
@@ -142,7 +144,9 @@ where
     }
 
     /// Ingests one report: Full updates (of one random prefix each) for the
-    /// samples, Window updates for the remaining covered packets.
+    /// samples, then one bulk [`HMemento::skip`] over the un-sampled
+    /// remainder of the covered packets (see
+    /// [`DMementoController::receive`]).
     pub fn receive(&mut self, report: &Report<Hi::Item>) {
         match &report.payload {
             ReportPayload::Samples(samples) => {
@@ -150,9 +154,7 @@ where
                     self.hmemento.sampled_update(*s);
                 }
                 let rest = report.covered_packets.saturating_sub(samples.len() as u64);
-                for _ in 0..rest {
-                    self.hmemento.window_update();
-                }
+                self.hmemento.skip(rest);
             }
             ReportPayload::Aggregation(_) => {
                 panic!("DHMementoController only handles Sample/Batch reports")

@@ -8,44 +8,55 @@ use memento_core::traits::SlidingWindowEstimator;
 use memento_core::{Memento, Wcss};
 use memento_sketches::ExactWindow;
 
+use crate::router::Router;
 use crate::worker::ShardWorker;
 use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
 
 /// The boxed per-shard estimator each worker thread owns.
 pub type BoxedEstimator<K> = Box<dyn SlidingWindowEstimator<K> + Send>;
 
-/// A sliding-window estimator scaled across worker threads.
+/// A sliding-window estimator scaled across worker threads, with
+/// **global-position windows**.
 ///
 /// Keys are hash-partitioned over `N` shards; each shard is a worker thread
-/// owning an independent estimator over a window of `W/N` packets. Because
-/// the partition is by flow key, *all* packets of a flow land in one shard,
-/// and a shard's `W/N`-packet window covers (in expectation) the same stretch
-/// of the global stream as a single `W`-packet window would — so per-flow
-/// queries are answered by the owning shard alone and heavy-hitter queries
-/// are the union of the per-shard answers (the summation/union merge that
-/// the [`SlidingWindowEstimator::mergeable`] contract promises). This is the
-/// mergeable-summary view of sliding-window measurement that the
-/// sliding-window heavy-hitter literature (Braverman et al.) relies on for
-/// partitioned deployments.
+/// owning an independent estimator over a **full window of `W` packets at
+/// the global stream position**. The router stamps every key with its
+/// *gap* — the number of packets routed to other shards since that shard's
+/// previous key — and the worker replays
+/// [`skip(gap)`](SlidingWindowEstimator::skip) before each key (through
+/// the estimator's fused
+/// [`update_batch_positioned`](SlidingWindowEstimator::update_batch_positioned)
+/// path), the D-Memento-style bulk window update of the Memento paper
+/// (§6). Every shard's window therefore covers exactly the last `W`
+/// packets of the *combined* stream (of which it recorded only its own
+/// flows), so per-flow queries are answered by the owning shard alone and
+/// heavy-hitter queries are the union of the per-shard answers — the
+/// mergeable-sliding-window contract
+/// ([`SlidingWindowEstimator::mergeable`]) that the sliding-window
+/// heavy-hitter literature (Braverman et al.) assumes for partitioned
+/// deployments. (The previous count-based design gave each shard `W/N` of
+/// its *own* packets, which under skew covers far less than `W` global
+/// packets for the shard owning a dominant flow — the 123 → 3308 on-arrival
+/// RMSE blowup recorded in `crates/bench/EXPERIMENTS.md`.)
 ///
-/// Updates travel to the workers as batches over bounded channels (reusing
-/// each estimator's `update_batch` fast path — for Memento, the geometric
-/// skip sampling of §5); queries piggyback on the same FIFO, so a query
-/// observes every update enqueued before it without any locking around the
-/// algorithm state.
+/// Updates travel to the workers as gap-stamped batches over bounded
+/// channels (reusing each estimator's `update_batch` fast path — for
+/// Memento, the geometric skip sampling of §5); queries piggyback on the
+/// same FIFO, so a query observes every update enqueued before it without
+/// any locking around the algorithm state.
 ///
-/// The engine itself implements [`SlidingWindowEstimator`], so every generic
-/// driver in the workspace — the figure harnesses, the detection
+/// The engine itself implements [`SlidingWindowEstimator`], so every
+/// generic driver in the workspace — the figure harnesses, the detection
 /// disciplines, the flood-mitigation scenario — can run sharded without
 /// modification.
 pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + 'static> {
     name: &'static str,
     workers: Vec<ShardWorker<BoxedEstimator<K>>>,
-    /// Per-shard buffers of keys not yet shipped to the workers. Behind a
-    /// mutex so the `&self` query methods can flush them; the engine is not
-    /// itself meant to be driven from several threads (updates take
-    /// `&mut self`), so the lock is uncontended.
-    pending: Mutex<Vec<Vec<K>>>,
+    /// Gap-stamped buffers and position bookkeeping. Behind a mutex so the
+    /// `&self` query methods can flush them; the engine is not itself meant
+    /// to be driven from several threads (updates take `&mut self`), so the
+    /// lock is uncontended.
+    state: Mutex<Router<K>>,
     /// Ship a shard's buffer once it holds this many keys.
     flush_threshold: usize,
     /// Worst per-shard error bound, cached at construction (constant per
@@ -55,14 +66,20 @@ pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + 'static> {
 
 impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
     /// Creates a sharded engine with `shards` workers, each owning the
-    /// estimator built by `factory(shard_index)`.
+    /// estimator built by `factory(shard_index)`. Every per-shard estimator
+    /// must be configured with the **full global window `W`** — the router
+    /// keeps it at the global stream position via
+    /// [`skip`](SlidingWindowEstimator::skip).
     ///
     /// `name` is the stable identifier reported through
     /// [`SlidingWindowEstimator::name`] (bench CSV/JSON output).
     ///
     /// # Panics
     /// Panics when `shards` is zero or a factory-built estimator reports
-    /// itself as not [`mergeable`](SlidingWindowEstimator::mergeable).
+    /// itself as not [`mergeable`](SlidingWindowEstimator::mergeable) —
+    /// global-position sharded windows require estimators whose `skip` can
+    /// advance the window over packets recorded elsewhere; interval
+    /// estimators (Space Saving) do not qualify.
     pub fn new<F>(name: &'static str, shards: usize, mut factory: F) -> Self
     where
         F: FnMut(usize) -> BoxedEstimator<K>,
@@ -74,7 +91,9 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
             let estimator = factory(i);
             assert!(
                 estimator.mergeable(),
-                "{} is not mergeable across key partitions; it cannot be sharded",
+                "{} cannot answer global-position window queries across key partitions \
+                 (its skip cannot anchor a shard's window at the global stream position); \
+                 it cannot be sharded",
                 estimator.name()
             );
             error_bound = error_bound.max(estimator.error_bound());
@@ -87,43 +106,43 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
         ShardedEstimator {
             name,
             workers,
-            pending: Mutex::new((0..shards).map(|_| Vec::new()).collect()),
+            state: Mutex::new(Router::new(shards)),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             error_bound,
         }
     }
 
-    /// A sharded [`Memento`]: total window `W` split into per-shard windows
-    /// of `⌈W/N⌉` packets and `⌈k/N⌉` counters (same absolute error bound
-    /// `4W/k` as the single instance), with per-shard decorrelated RNG seeds.
+    /// A sharded [`Memento`]: every shard keeps a **full `W`-packet window
+    /// at the global stream position** with the full `k` counters (same
+    /// `4W/k` error bound as the single instance — the `N×` counter memory
+    /// is the price of full-window coverage per shard), with per-shard
+    /// decorrelated RNG seeds.
     pub fn memento(shards: usize, counters: usize, window: usize, tau: f64, seed: u64) -> Self {
         assert!(shards > 0, "shard count must be positive");
-        let shard_window = window.div_ceil(shards).max(1);
-        let shard_counters = counters.div_ceil(shards).max(1);
         Self::new("sharded-memento", shards, move |i| {
             let shard_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            Box::new(Memento::new(shard_counters, shard_window, tau, shard_seed))
+            Box::new(Memento::new(counters, window, tau, shard_seed))
         })
     }
 
     /// A sharded [`Wcss`] (Memento with τ = 1): the fully deterministic
-    /// configuration, used by the equivalence tests.
+    /// configuration, used by the equivalence tests. Per-shard windows and
+    /// counters match the single instance exactly, so on streams where no
+    /// Space-Saving eviction occurs the sharded estimates are bit-for-bit
+    /// the single-threaded ones.
     pub fn wcss(shards: usize, counters: usize, window: usize) -> Self {
         assert!(shards > 0, "shard count must be positive");
-        let shard_window = window.div_ceil(shards).max(1);
-        let shard_counters = counters.div_ceil(shards).max(1);
         Self::new("sharded-wcss", shards, move |_| {
-            Box::new(Wcss::new(shard_counters, shard_window))
+            Box::new(Wcss::new(counters, window))
         })
     }
 
-    /// A sharded exact window oracle (per-shard windows of `⌈W/N⌉` packets):
+    /// A sharded exact window oracle (full `W`-position window per shard):
     /// zero estimation error, used as the sharding-layer ground truth.
     pub fn exact(shards: usize, window: usize) -> Self {
         assert!(shards > 0, "shard count must be positive");
-        let shard_window = window.div_ceil(shards).max(1);
         Self::new("sharded-exact", shards, move |_| {
-            Box::new(ExactWindow::new(shard_window))
+            Box::new(ExactWindow::new(window))
         })
     }
 
@@ -147,29 +166,41 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
         (hasher.finish() % self.workers.len() as u64) as usize
     }
 
-    /// Ships one shard's buffered keys to its worker.
-    fn ship(&self, shard: usize, batch: Vec<K>) {
-        if batch.is_empty() {
+    /// Ships one shard's gap-stamped keys plus the trailing skip that
+    /// advances the shard's window to the current global position: the
+    /// worker replays `skip(gap)` before each key (through the estimator's
+    /// fused `update_batch_positioned` path) and a final `skip(tail)` for
+    /// the packets routed elsewhere after the shard's last key. Ships a
+    /// tail-only skip when the shard has no buffered keys but has fallen
+    /// behind the global position.
+    fn ship_shard(&self, state: &mut Router<K>, shard: usize) {
+        let Some((gaps, keys, tail)) = state.take_shipment(shard) else {
             return;
-        }
-        self.workers[shard].send(Box::new(move |est| est.update_batch(&batch)));
+        };
+        self.workers[shard].send(Box::new(move |est| {
+            if !keys.is_empty() {
+                est.update_batch_positioned(&gaps, &keys);
+            }
+            if tail > 0 {
+                est.skip(tail);
+            }
+        }));
     }
 
-    /// Flushes every shard's pending buffer (queries call this so that they
-    /// observe all preceding updates).
+    /// Flushes every shard's pending buffer and advances every shard to the
+    /// current global stream position (queries call this so that they
+    /// observe all preceding updates *and* correctly positioned windows).
     pub fn flush(&self) {
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let mut state = self.state.lock().expect("router state poisoned");
         for shard in 0..self.workers.len() {
-            let batch = std::mem::take(&mut pending[shard]);
-            self.ship(shard, batch);
+            self.ship_shard(&mut state, shard);
         }
     }
 
-    /// Flushes a single shard's pending buffer.
+    /// Flushes and position-syncs a single shard.
     fn flush_shard(&self, shard: usize) {
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
-        let batch = std::mem::take(&mut pending[shard]);
-        self.ship(shard, batch);
+        let mut state = self.state.lock().expect("router state poisoned");
+        self.ship_shard(&mut state, shard);
     }
 
     /// Runs a query on one shard, after everything enqueued before it.
@@ -198,37 +229,42 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
     }
 
     fn update(&mut self, key: K) {
-        // `&mut self` rules out concurrent queries, so holding the buffer
+        // `&mut self` rules out concurrent queries, so holding the state
         // lock across a (possibly blocking) ship cannot deadlock.
         let shard = self.shard_of(&key);
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
-        let buffer = &mut pending[shard];
-        buffer.push(key);
-        if buffer.len() >= self.flush_threshold {
-            let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
-            self.ship(shard, full);
+        let mut state = self.state.lock().expect("router state poisoned");
+        if state.push(shard, key, self.flush_threshold) >= self.flush_threshold {
+            self.ship_shard(&mut state, shard);
         }
     }
 
     /// Partitions the batch by key hash and ships each shard's share in
-    /// flush-threshold-sized messages, preserving per-shard arrival order
-    /// (the order across shards is immaterial: shards are disjoint key
-    /// sets). Keys beyond the last full message stay buffered until the next
-    /// update or query.
+    /// flush-threshold-sized gap-stamped messages, preserving per-shard
+    /// arrival order (the order across shards is immaterial: shards are
+    /// disjoint key sets and the gap stamps carry the exact cross-shard
+    /// positions). Keys beyond the last full message stay buffered until
+    /// the next update or query.
     fn update_batch(&mut self, keys: &[K]) {
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let mut state = self.state.lock().expect("router state poisoned");
         for key in keys {
             let shard = self.shard_of(key);
-            let buffer = &mut pending[shard];
-            if buffer.capacity() == 0 {
-                buffer.reserve(self.flush_threshold);
-            }
-            buffer.push(key.clone());
-            if buffer.len() >= self.flush_threshold {
-                let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
-                self.ship(shard, full);
+            if state.push(shard, key.clone(), self.flush_threshold) >= self.flush_threshold {
+                self.ship_shard(&mut state, shard);
             }
         }
+    }
+
+    /// Advances the global stream position over `n` packets observed
+    /// outside this engine (e.g. by another engine of a larger deployment).
+    /// Pending buffers ship first so already-routed keys keep their
+    /// pre-skip positions; the advance itself then propagates to the shards
+    /// as part of the gap stamps of their next shipments.
+    fn skip(&mut self, n: u64) {
+        let mut state = self.state.lock().expect("router state poisoned");
+        for shard in 0..self.workers.len() {
+            self.ship_shard(&mut state, shard);
+        }
+        state.advance(n);
     }
 
     fn estimate(&self, key: &K) -> f64 {
@@ -255,16 +291,23 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
             .sum()
     }
 
+    /// Global stream position: after the flush every shard sits at the same
+    /// position (each window covers the whole combined stream), so this is
+    /// the maximum — not the sum — of the per-shard counts. Querying every
+    /// worker doubles as the drain barrier the throughput harnesses rely
+    /// on.
     fn processed(&self) -> u64 {
         self.flush();
         (0..self.workers.len())
             .map(|shard| self.query_shard(shard, |est| est.processed()))
-            .sum()
+            .max()
+            .unwrap_or(0)
     }
 
     fn error_bound(&self) -> f64 {
-        // A flow lives entirely in one shard, so the merged per-flow error is
-        // the worst per-shard bound, not their sum.
+        // A flow lives entirely in one shard whose window spans the full
+        // global stream, so the merged per-flow error is the worst
+        // per-shard bound, not their sum.
         self.error_bound
     }
 }
@@ -286,21 +329,24 @@ mod tests {
     }
 
     #[test]
-    fn exact_sharding_matches_exact_counts_within_shard_window() {
-        // Within W/N packets nothing expires anywhere, so the sharded exact
-        // oracle must agree exactly with a single exact window.
-        let window = 8_000;
+    fn exact_sharding_matches_exact_counts_beyond_the_window() {
+        // Global-position windows: the sharded exact oracle agrees with a
+        // single exact window even when the stream is much longer than W
+        // and expiry is in full swing — the per-key gap stamps replay every
+        // key at its exact global position.
+        let window = 800;
         let shards = 4;
         let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(shards, window);
         let mut single: ExactWindow<u64> = ExactWindow::new(window);
-        for i in 0..(window / shards) as u64 {
-            let key = i % 101;
+        for i in 0..5_000u64 {
+            let key = (i * i) % 101;
             sharded.update(key);
             single.add(key);
         }
         for key in 0..101u64 {
             assert_eq!(sharded.estimate(&key), single.query(&key) as f64);
         }
+        assert_eq!(sharded.processed(), single.processed());
     }
 
     #[test]
@@ -322,7 +368,8 @@ mod tests {
     #[test]
     fn single_shard_memento_matches_unsharded_memento() {
         // With one shard the engine routes everything to one inner Memento
-        // configured identically, so estimates agree exactly.
+        // configured identically (all gaps are zero), so estimates agree
+        // exactly.
         let mut sharded: ShardedEstimator<u64> = ShardedEstimator::memento(1, 64, 4_000, 1.0, 7);
         let mut single: Memento<u64> = Memento::new(64, 4_000, 1.0, 7);
         for i in 0..10_000u64 {
@@ -354,8 +401,34 @@ mod tests {
     }
 
     #[test]
+    fn engine_level_skip_advances_every_shard_window() {
+        // Fill a window, then skip a full window's worth of elsewhere
+        // packets: everything must expire on every shard.
+        let window = 500;
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(3, window);
+        for i in 0..window as u64 {
+            sharded.update(i % 11);
+        }
+        assert!(sharded.estimate(&1) > 0.0);
+        sharded.skip(window as u64);
+        for key in 0..11u64 {
+            assert_eq!(sharded.estimate(&key), 0.0, "key {key} survived the skip");
+        }
+        assert_eq!(sharded.processed(), 2 * window as u64);
+    }
+
+    #[test]
     #[should_panic(expected = "shard count must be positive")]
     fn zero_shards_panic() {
         let _ = ShardedEstimator::<u64>::exact(0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "global-position window")]
+    fn interval_estimators_are_refused() {
+        use memento_sketches::SpaceSaving;
+        let _ = ShardedEstimator::<u64>::new("sharded-space-saving", 2, |_| {
+            Box::new(SpaceSaving::new(16))
+        });
     }
 }

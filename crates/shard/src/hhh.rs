@@ -9,39 +9,47 @@ use memento_core::traits::HhhAlgorithm;
 use memento_core::HMemento;
 use memento_hierarchy::Hierarchy;
 
+use crate::router::Router;
 use crate::worker::ShardWorker;
 use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
 
 /// The boxed per-shard HHH algorithm each worker thread owns.
 pub type BoxedHhh<Hi> = Box<dyn HhhAlgorithm<Hi> + Send>;
 
-/// A hierarchical heavy-hitters algorithm scaled across worker threads.
+/// A hierarchical heavy-hitters algorithm scaled across worker threads,
+/// with **global-position windows**.
 ///
 /// Items are hash-partitioned over `N` shards, each a worker thread owning
-/// an independent HHH instance over a window of `⌈W/N⌉` packets. Unlike
+/// an independent HHH instance over a **full window of `W` packets at the
+/// global stream position**: the router stamps every item with the count
+/// of packets routed to other shards since that shard's previous item, and
+/// the worker replays [`skip(gap)`](HhhAlgorithm::skip) before each item
+/// (the D-Memento-style bulk window update). Unlike
 /// per-flow estimation, a *prefix* aggregates many items that may hash to
 /// different shards, so the merge is summation rather than routing:
-/// [`HhhAlgorithm::estimate`] sums the per-shard prefix estimates, and
-/// [`HhhAlgorithm::output`] unions the per-shard HHH sets and re-validates
-/// each candidate against the *global* threshold `θ·W`. Uniform hashing
-/// preserves traffic *fractions* per shard in expectation, so a prefix
-/// above threshold `θ` globally is above `θ` in at least one shard (no
-/// false negatives beyond the per-shard guarantees); the re-validation
-/// step exists for the opposite direction — a narrow prefix hashes wholly
-/// to one shard where its local fraction is up to `N×` its global one, so
-/// the raw union would report prefixes with global share as low as `θ/N`.
+/// [`HhhAlgorithm::estimate`] sums the per-shard prefix estimates.
+///
+/// [`HhhAlgorithm::output`] is re-derived for full-window shards: a shard
+/// sees only ~`1/N` of the traffic but measures it against the full `W`, so
+/// a globally-`θ`-heavy prefix shows up in some shard at only `θ/N` of that
+/// shard's window — candidates are therefore collected at the per-shard
+/// threshold `θ/N` and the union is re-validated against the global `θ·W`
+/// bar using the summed (upper-bound) estimates, which filters the
+/// prefixes that cleared `θ/N` in their shard without being `θ`-heavy
+/// globally.
 pub struct ShardedHhh<Hi: Hierarchy + 'static> {
     name: &'static str,
     workers: Vec<ShardWorker<BoxedHhh<Hi>>>,
-    /// Per-shard buffers of items not yet shipped to the workers (see
+    /// Gap-stamped buffers and position bookkeeping (see
     /// [`crate::ShardedEstimator`] for the locking rationale).
-    pending: Mutex<Vec<Vec<Hi::Item>>>,
+    state: Mutex<Router<Hi::Item>>,
     flush_threshold: usize,
     /// Whether the inner algorithm has interval (landmark) semantics, cached
     /// at construction.
     interval: bool,
-    /// Global window size `W` (sum of the per-shard windows), when known:
-    /// enables the `θ·W` re-validation of merged HHH outputs.
+    /// Global window size `W` (also each shard's window now), when known:
+    /// enables the `θ·W` re-validation of merged HHH outputs and the `θ/N`
+    /// per-shard candidate threshold.
     window_total: Option<usize>,
 }
 
@@ -51,15 +59,19 @@ where
     Hi::Prefix: Send + 'static,
 {
     /// Creates a sharded HHH engine with `shards` workers, each owning the
-    /// algorithm built by `factory(shard_index)`. `window` is the global
-    /// window size `W` when known (the sum of the per-shard windows); it
-    /// enables [`output`](HhhAlgorithm::output)'s re-validation of merged
-    /// candidates against the global `θ·W` threshold — pass `None` only for
+    /// algorithm built by `factory(shard_index)`. Every per-shard algorithm
+    /// must be configured with the **full global window `W`** — the router
+    /// keeps it at the global stream position via
+    /// [`skip`](HhhAlgorithm::skip). `window` is that global window size
+    /// when known; it enables [`output`](HhhAlgorithm::output)'s `θ/N`
+    /// candidate collection and `θ·W` re-validation — pass `None` only for
     /// algorithms without a meaningful window.
     ///
     /// # Panics
     /// Panics when `shards` is zero or a factory-built algorithm reports
-    /// itself as not [`mergeable`](HhhAlgorithm::mergeable).
+    /// itself as not [`mergeable`](HhhAlgorithm::mergeable) — global-position
+    /// sharded windows require algorithms whose `skip` can advance the
+    /// window over packets recorded elsewhere.
     pub fn new<F>(name: &'static str, shards: usize, window: Option<usize>, mut factory: F) -> Self
     where
         F: FnMut(usize) -> BoxedHhh<Hi>,
@@ -71,7 +83,9 @@ where
             let algorithm = factory(i);
             assert!(
                 algorithm.mergeable(),
-                "{} is not mergeable across item partitions; it cannot be sharded",
+                "{} cannot answer global-position window queries across item partitions \
+                 (its skip cannot anchor a shard's window at the global stream position); \
+                 it cannot be sharded",
                 algorithm.name()
             );
             interval = algorithm.is_interval();
@@ -84,15 +98,17 @@ where
         ShardedHhh {
             name,
             workers,
-            pending: Mutex::new((0..shards).map(|_| Vec::new()).collect()),
+            state: Mutex::new(Router::new(shards)),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             interval,
             window_total: window,
         }
     }
 
-    /// A sharded [`HMemento`]: total window `W` split into per-shard windows
-    /// of `⌈W/N⌉` packets and `⌈k/N⌉` counters.
+    /// A sharded [`HMemento`]: every shard keeps a full `W`-packet window
+    /// at the global stream position with the full `k` counters (same error
+    /// bound as the single instance; the `N×` counter memory is the price
+    /// of full-window coverage per shard).
     pub fn h_memento(
         hier: Hi,
         shards: usize,
@@ -107,14 +123,12 @@ where
         Hi::Prefix: Hash,
     {
         assert!(shards > 0, "shard count must be positive");
-        let shard_window = window.div_ceil(shards).max(1);
-        let shard_counters = counters.div_ceil(shards).max(1);
         Self::new("sharded-h-memento", shards, Some(window), move |i| {
             let shard_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             Box::new(HMemento::new(
                 hier.clone(),
-                shard_counters,
-                shard_window,
+                counters,
+                window,
                 tau,
                 delta,
                 shard_seed,
@@ -133,19 +147,29 @@ where
         (hasher.finish() % self.workers.len() as u64) as usize
     }
 
-    fn ship(&self, shard: usize, batch: Vec<Hi::Item>) {
-        if batch.is_empty() {
+    /// Ships one shard's gap-stamped items plus the trailing skip that
+    /// advances the shard's window to the current global position
+    /// (tail-only skips included).
+    fn ship_shard(&self, state: &mut Router<Hi::Item>, shard: usize) {
+        let Some((gaps, items, tail)) = state.take_shipment(shard) else {
             return;
-        }
-        self.workers[shard].send(Box::new(move |alg| alg.update_batch(&batch)));
+        };
+        self.workers[shard].send(Box::new(move |alg| {
+            if !items.is_empty() {
+                alg.update_batch_positioned(&gaps, &items);
+            }
+            if tail > 0 {
+                alg.skip(tail);
+            }
+        }));
     }
 
-    /// Flushes every shard's pending buffer.
+    /// Flushes every shard's pending buffer and advances every shard to the
+    /// current global stream position.
     pub fn flush(&self) {
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let mut state = self.state.lock().expect("router state poisoned");
         for shard in 0..self.workers.len() {
-            let batch = std::mem::take(&mut pending[shard]);
-            self.ship(shard, batch);
+            self.ship_shard(&mut state, shard);
         }
     }
 
@@ -182,29 +206,32 @@ where
 
     fn update(&mut self, item: Hi::Item) {
         let shard = self.shard_of(&item);
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
-        let buffer = &mut pending[shard];
-        buffer.push(item);
-        if buffer.len() >= self.flush_threshold {
-            let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
-            self.ship(shard, full);
+        let mut state = self.state.lock().expect("router state poisoned");
+        if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
+            self.ship_shard(&mut state, shard);
         }
     }
 
     fn update_batch(&mut self, items: &[Hi::Item]) {
-        let mut pending = self.pending.lock().expect("pending buffer poisoned");
+        let mut state = self.state.lock().expect("router state poisoned");
         for &item in items {
             let shard = self.shard_of(&item);
-            let buffer = &mut pending[shard];
-            if buffer.capacity() == 0 {
-                buffer.reserve(self.flush_threshold);
-            }
-            buffer.push(item);
-            if buffer.len() >= self.flush_threshold {
-                let full = std::mem::replace(buffer, Vec::with_capacity(self.flush_threshold));
-                self.ship(shard, full);
+            if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
+                self.ship_shard(&mut state, shard);
             }
         }
+    }
+
+    /// Advances the global stream position over `n` packets observed
+    /// outside this engine. Pending buffers ship first so already-routed
+    /// items keep their pre-skip positions; the advance then propagates via
+    /// the gap stamps of the shards' next shipments.
+    fn skip(&mut self, n: u64) {
+        let mut state = self.state.lock().expect("router state poisoned");
+        for shard in 0..self.workers.len() {
+            self.ship_shard(&mut state, shard);
+        }
+        state.advance(n);
     }
 
     /// A prefix's traffic spreads over every shard, so the network-wide view
@@ -214,20 +241,33 @@ where
         self.summed_estimate(prefix)
     }
 
-    /// The union of the per-shard HHH sets, re-validated against the global
-    /// threshold (deduplicated, in prefix order).
+    /// The union of the per-shard HHH sets collected at the per-shard
+    /// threshold `θ/N`, re-validated against the global `θ·W` threshold
+    /// (deduplicated, in prefix order).
     fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
         self.flush();
+        // Each shard measures ~1/N of the traffic against the full window
+        // W, so a globally-θ-heavy prefix reaches only ~θ/N of a shard's
+        // window: collect candidates at θ/N so no global HHH is missed —
+        // but only when the window is known and the θ·W re-validation
+        // below can filter the widened union. Without a window, pass θ
+        // through unchanged: no over-reporting, at the cost of possible
+        // false negatives for prefixes split across shards.
+        let per_shard_theta = if self.window_total.is_some() {
+            theta / self.workers.len() as f64
+        } else {
+            theta
+        };
         let mut seen: HashSet<Hi::Prefix> = HashSet::new();
         for worker in &self.workers {
-            seen.extend(worker.call(move |alg| alg.output(theta)));
+            seen.extend(worker.call(move |alg| alg.output(per_shard_theta)));
         }
         let mut merged: Vec<Hi::Prefix> = seen.into_iter().collect();
-        // A shard-local HHH only witnesses ≥ θ·(W/N) packets globally, so
-        // keep a candidate only when the summed (upper-bound) estimate
-        // clears the global θ·W bar. Upper bounds never undercount, so no
-        // legitimate HHH is dropped. One round-trip per worker estimates
-        // every candidate at once.
+        // Keep a candidate only when the summed (upper-bound) estimate
+        // clears the global θ·W bar — upper bounds never undercount, so no
+        // legitimate HHH is dropped, while prefixes that cleared θ/N in
+        // their shard without being θ-heavy globally are filtered. One
+        // round-trip per worker estimates every candidate at once.
         if let Some(window) = self.window_total {
             let floor = theta * window as f64;
             let mut totals = vec![0.0f64; merged.len()];
@@ -258,12 +298,16 @@ where
             .sum()
     }
 
+    /// Global stream position: after the flush every shard sits at the same
+    /// position, so this is the maximum — not the sum — of the per-shard
+    /// counts (which doubles as the drain barrier).
     fn processed(&self) -> u64 {
         self.flush();
         self.workers
             .iter()
             .map(|w| w.call(|alg| alg.processed()))
-            .sum()
+            .max()
+            .unwrap_or(0)
     }
 
     fn is_interval(&self) -> bool {
@@ -323,9 +367,9 @@ mod tests {
 
     #[test]
     fn output_rejects_shard_local_heavy_hitters() {
-        // One host carries ~12% of global traffic; on 4 shards it owns a
-        // much larger fraction of its own shard's stream, so its shard
-        // reports it at θ = 0.3 — the merged output must not.
+        // One host carries ~12% of global traffic; its shard collects it as
+        // a θ/N candidate, but the summed estimate stays far below the
+        // global θ·W bar at θ = 0.3 — the merged output must reject it.
         let window = 8_000;
         let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 4, 4_096, window, 1.0, 0.01, 7);
         let hot = addr(10, 1, 2, 3);
@@ -376,5 +420,44 @@ mod tests {
             HMemento::estimate(&single, &p)
         );
         assert_eq!(sharded.processed(), single.processed());
+    }
+
+    #[test]
+    #[should_panic(expected = "global-position window")]
+    fn interval_algorithms_are_refused() {
+        use memento_baselines::Mst;
+        let _ = ShardedHhh::<SrcHierarchy>::new("sharded-mst", 2, None, |_| {
+            Box::new(Mst::new(SrcHierarchy, 64))
+        });
+    }
+
+    #[test]
+    fn windows_expire_at_the_global_position() {
+        // A /8 that dominates one window and then vanishes must be
+        // forgotten by the sharded engine once W *global* packets pass —
+        // regardless of how few of the follow-up packets land in the shards
+        // holding its hosts.
+        let window = 4_000;
+        let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 4, 2_048, window, 1.0, 0.01, 5);
+        let hot: Vec<u32> = (0..window as u32)
+            .map(|i| addr(42, (i % 61) as u8, (i % 17) as u8, (i % 5) as u8))
+            .collect();
+        sharded.update_batch(&hot);
+        let p8 = Prefix1D::new(addr(42, 0, 0, 0), 8);
+        // Level sampling (one of H prefixes per packet) adds noise around
+        // the true count W; the point here is only "clearly hot".
+        assert!(HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p8) >= 0.7 * window as f64);
+        // Two full windows of unrelated traffic.
+        let cold: Vec<u32> = (0..2 * window as u32)
+            .map(|i| addr(200 + (i % 37) as u8, (i % 251) as u8, (i % 7) as u8, 1))
+            .collect();
+        sharded.update_batch(&cold);
+        let leftover = HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p8);
+        // Only the per-shard one-sided slack may remain (2 blocks × V per
+        // shard plus Space-Saving noise) — far below the old count.
+        assert!(
+            leftover < 0.25 * window as f64,
+            "stale /8 retained across the global window: {leftover}"
+        );
     }
 }

@@ -9,19 +9,31 @@
 //! The paper's headline result is line-rate single-core processing (§5); the
 //! system this reproduction grows toward also has to scale *out* when one
 //! core is not enough. The engine applies the standard recipe from
-//! partitioned streaming measurement (the mergeable-summary view of the
-//! sliding-window heavy-hitter literature, Braverman et al.):
+//! partitioned streaming measurement (the mergeable-sliding-window view of
+//! the heavy-hitter literature, Braverman et al.), with **global-position
+//! windows**:
 //!
 //! * **hash-partition** keys over `N` shards, so each flow's traffic lands
 //!   wholly in one shard;
-//! * give each shard a window of `⌈W/N⌉` packets — hashing spreads the
-//!   stream uniformly, so a shard's window covers (in expectation) the same
-//!   stretch of the global stream as a single `W`-packet window;
+//! * give each shard a **full window of `W` packets anchored at the global
+//!   stream position**: the router stamps every key with the *gap* — how
+//!   many packets went to other shards since that shard's previous key —
+//!   and the worker replays
+//!   [`skip(gap)`](memento_core::traits::SlidingWindowEstimator::skip)
+//!   before each key through the fused
+//!   `update_batch_positioned` path, the D-Memento-style bulk window
+//!   update of the Memento paper (§6). A shard's window therefore always
+//!   covers exactly the last `W` packets of the *combined* stream, no
+//!   matter how skewed the partition is (a count-based `W/N` window of a
+//!   shard's own packets does not: the shard owning a dominant flow would
+//!   cover far less than `W` global packets);
 //! * feed shards *batches* over bounded channels, reusing each algorithm's
 //!   `update_batch` fast path (for Memento, the geometric skip sampling of
 //!   §5) and getting backpressure for free;
 //! * **merge** per-shard answers at query time: route per-flow queries to
-//!   the owning shard, union heavy-hitter sets, sum prefix estimates.
+//!   the owning shard, union heavy-hitter sets, sum prefix estimates (HHH
+//!   candidates are collected at `θ/N` per shard and re-validated against
+//!   the global `θ·W` bar).
 //!
 //! Queries piggyback on the per-shard update FIFO, so they observe every
 //! preceding update without locks around the algorithm state.
@@ -45,6 +57,7 @@
 
 mod estimator;
 mod hhh;
+mod router;
 mod worker;
 
 pub use estimator::{BoxedEstimator, ShardedEstimator};

@@ -65,16 +65,29 @@ impl<K: Eq + Hash + Clone> ExactInterval<K> {
     }
 }
 
-/// Exact sliding-window counter over the last `window` items.
+/// Exact sliding-window counter over the last `window` *stream positions*.
 ///
-/// Keeps a ring buffer of the last `window` keys plus a hash map of their
-/// counts, so both update and query are O(1) (amortized) and memory is
-/// O(window) — exactly the cost the paper's approximate algorithms avoid.
+/// Keeps a ring buffer of the position-stamped keys still inside the window
+/// plus a hash map of their counts, so both update and query are O(1)
+/// (amortized) and memory is O(window) — exactly the cost the paper's
+/// approximate algorithms avoid.
+///
+/// The window is defined over global stream positions, not over recorded
+/// items: [`ExactWindow::skip`] advances the position over packets observed
+/// elsewhere (another shard of a partitioned deployment, another
+/// measurement point) without recording them, evicting whatever the
+/// advance pushes out of the last `window` positions. When every position
+/// is recorded through [`ExactWindow::add`] — the single-instance case —
+/// the two views coincide and the counter behaves exactly like the classic
+/// "last `W` items" oracle.
 #[derive(Debug, Clone)]
 pub struct ExactWindow<K: Eq + Hash + Clone> {
     window: usize,
-    ring: VecDeque<K>,
+    /// Recorded items still inside the window, oldest first, each stamped
+    /// with the (1-based) global stream position at which it was recorded.
+    ring: VecDeque<(u64, K)>,
     counts: HashMap<K, u64>,
+    /// Global stream position: recorded items plus skipped packets.
     processed: u64,
 }
 
@@ -98,35 +111,56 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
         self.window
     }
 
-    /// Total number of items ever processed.
+    /// Total stream positions ever covered (recorded items plus skipped
+    /// packets).
     pub fn processed(&self) -> u64 {
         self.processed
     }
 
-    /// Number of items currently inside the window (`min(processed, W)`).
+    /// Number of recorded items currently inside the window
+    /// (`min(processed, W)` when nothing was ever skipped).
     pub fn occupancy(&self) -> usize {
         self.ring.len()
     }
 
-    /// Records one occurrence of `key`, expiring the oldest item if the
-    /// window is full.
+    /// Records one occurrence of `key` at the next stream position,
+    /// expiring whatever leaves the last `W` positions.
     pub fn add(&mut self, key: K) {
-        if self.ring.len() == self.window {
-            if let Some(old) = self.ring.pop_front() {
-                if let Some(c) = self.counts.get_mut(&old) {
-                    *c -= 1;
-                    if *c == 0 {
-                        self.counts.remove(&old);
-                    }
+        self.processed += 1;
+        self.ring.push_back((self.processed, key.clone()));
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.evict_expired();
+    }
+
+    /// Advances the stream position over `n` packets observed elsewhere
+    /// without recording them, expiring whatever the advance pushes out of
+    /// the last `W` positions — for a full window, exactly equivalent to
+    /// `n` evictions without an insert. O(evicted), so O(1) amortized
+    /// against the adds that populated the ring.
+    pub fn skip(&mut self, n: u64) {
+        self.processed += n;
+        self.evict_expired();
+    }
+
+    /// Drops recorded items whose position fell out of the last `W`
+    /// positions.
+    fn evict_expired(&mut self) {
+        let horizon = self.processed.saturating_sub(self.window as u64);
+        while let Some((pos, _)) = self.ring.front() {
+            if *pos > horizon {
+                break;
+            }
+            let (_, old) = self.ring.pop_front().expect("front checked above");
+            if let Some(c) = self.counts.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&old);
                 }
             }
         }
-        self.ring.push_back(key.clone());
-        *self.counts.entry(key).or_insert(0) += 1;
-        self.processed += 1;
     }
 
-    /// Exact count of `key` among the last `W` items.
+    /// Exact count of `key` among the last `W` stream positions.
     pub fn query(&self, key: &K) -> u64 {
         self.counts.get(key).copied().unwrap_or(0)
     }
@@ -153,11 +187,11 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
         self.counts.len()
     }
 
-    /// Approximate heap footprint in bytes: the ring of the last `W` keys
-    /// plus the count table — the linear-in-`W` cost the paper's approximate
-    /// algorithms avoid.
+    /// Approximate heap footprint in bytes: the ring of position-stamped
+    /// keys plus the count table — the linear-in-`W` cost the paper's
+    /// approximate algorithms avoid.
     pub fn space_bytes(&self) -> usize {
-        self.window * std::mem::size_of::<K>()
+        self.window * std::mem::size_of::<(u64, K)>()
             + self.counts.len() * (std::mem::size_of::<K>() + 2 * std::mem::size_of::<u64>())
             + std::mem::size_of::<Self>()
     }
@@ -235,6 +269,61 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = ExactWindow::<u32>::new(0);
+    }
+
+    /// On a full window, `skip(n)` is exactly `n` evictions without an
+    /// insert: the oldest `n` recorded items leave the window.
+    #[test]
+    fn skip_evicts_by_global_position() {
+        let mut w = ExactWindow::new(4);
+        for key in [1, 1, 2, 3] {
+            w.add(key);
+        }
+        w.skip(2); // positions 1 and 2 (both 1s) fall out
+        assert_eq!(w.query(&1), 0);
+        assert_eq!(w.query(&2), 1);
+        assert_eq!(w.query(&3), 1);
+        assert_eq!(w.processed(), 6);
+        assert_eq!(w.occupancy(), 2);
+        // A later add lands at position 7; the window (4..=7] keeps 2 out.
+        w.add(5);
+        assert_eq!(w.query(&2), 0);
+        assert_eq!(w.query(&3), 1);
+        assert_eq!(w.query(&5), 1);
+        // Skipping a whole window clears everything.
+        w.skip(4);
+        assert_eq!(w.occupancy(), 0);
+        assert_eq!(w.distinct(), 0);
+    }
+
+    /// Interleaved add/skip matches a naive model that materializes the
+    /// skipped positions as never-matching filler keys.
+    #[test]
+    fn skip_matches_materialized_filler_model() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let window = 60;
+        let mut fast: ExactWindow<u64> = ExactWindow::new(window);
+        let mut model: ExactWindow<u64> = ExactWindow::new(window);
+        for i in 0..3_000u64 {
+            if rng.gen_bool(0.3) {
+                let n = rng.gen_range(1..25u64);
+                fast.skip(n);
+                for j in 0..n {
+                    model.add(u64::MAX - (i * 32 + j)); // unique filler
+                }
+            } else {
+                let key = rng.gen_range(0u64..12);
+                fast.add(key);
+                model.add(key);
+            }
+            if i % 61 == 0 {
+                for key in 0u64..12 {
+                    assert_eq!(fast.query(&key), model.query(&key), "key {key} at step {i}");
+                }
+                assert_eq!(fast.processed(), model.processed());
+            }
+        }
     }
 
     #[test]

@@ -1,38 +1,119 @@
 //! Cross-crate tests of the multi-core sharding engine: property-based
 //! equivalence against the single-threaded estimators on deterministic
-//! paths, and a trait-object smoke test showing the engine rides behind the
-//! same `SlidingWindowEstimator` surface as everything else.
+//! paths — including the `skip(n)` bulk-advance semantics that anchor every
+//! shard's window at the global stream position — and a trait-object smoke
+//! test showing the engine rides behind the same `SlidingWindowEstimator`
+//! surface as everything else.
 
 use memento::sketches::ExactWindow;
 use memento::traits::SlidingWindowEstimator;
-use memento::{ShardedEstimator, TraceGenerator, TracePreset, Wcss};
+use memento::{Memento, ShardedEstimator, TraceGenerator, TracePreset, Wcss};
 use proptest::prelude::*;
 
-/// The shard counts the satellite task calls out.
+/// The shard counts the acceptance criteria call out.
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// A skewed stream over a 10-key universe: key 0 dominates (~60% of
+/// packets), a few warm keys share most of the rest. This is exactly the
+/// distribution under which count-based `W/N` shard windows used to
+/// diverge — the shard owning key 0 receives far more than `1/N` of the
+/// stream.
+fn skewed_stream(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => Just(0u64),
+            3 => 1u64..4,
+            1 => 4u64..10,
+        ],
+        50..max_len,
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// On the fully deterministic path (WCSS = Memento with τ = 1), a
-    /// sharded estimator over N ∈ {1, 2, 4} shards answers exactly like the
-    /// single-threaded estimator while every packet is still inside each
-    /// shard's window: per-flow window totals, the heavy-hitter set and the
-    /// processed count all match.
-    ///
-    /// The configuration is chosen so the deterministic states coincide:
-    /// window and counters divide evenly by every shard count (equal block
-    /// sizes on both sides), per-shard counters cover the key universe (no
-    /// Space-Saving evictions), and the stream is shorter than a per-shard
-    /// window (nothing expires on either side).
+    /// `skip(n)` on Memento/WCSS is bit-for-bit `n` unrecorded
+    /// `window_update()` calls, at any τ, alignment and overflow state.
     #[test]
-    fn sharded_wcss_matches_single_threaded_window_totals(
-        stream in prop::collection::vec(0u64..10, 50..1500),
+    fn memento_skip_equals_n_window_updates(
+        stream in skewed_stream(1_200),
+        n in 1u64..3_000,
+        tau_exp in 0u32..3,
+    ) {
+        let window = 700; // deliberately not a multiple of the block count
+        let counters = 9;
+        let tau = 0.5f64.powi(tau_exp as i32);
+        let mut bulk: Memento<u64> = Memento::new(counters, window, tau, 13);
+        let mut per_packet: Memento<u64> = Memento::new(counters, window, tau, 13);
+        for &key in &stream {
+            bulk.update(key);
+            per_packet.update(key);
+        }
+        bulk.skip(n);
+        for _ in 0..n {
+            per_packet.window_update();
+        }
+        prop_assert_eq!(bulk.processed(), per_packet.processed());
+        prop_assert_eq!(bulk.tracked_overflows(), per_packet.tracked_overflows());
+        for key in 0u64..10 {
+            prop_assert_eq!(
+                bulk.estimate(&key).to_bits(),
+                per_packet.estimate(&key).to_bits(),
+                "skip({}) != {} window updates for key {}", n, n, key
+            );
+        }
+    }
+
+    /// `skip(n)` on a full `ExactWindow` is `n` evictions without an
+    /// insert; in general it matches a model that materializes the skipped
+    /// positions as unique never-queried filler keys.
+    #[test]
+    fn exact_window_skip_equals_evictions_without_insert(
+        stream in skewed_stream(1_500),
+        skips in prop::collection::vec((0usize..40, 1u64..150), 1..12),
+    ) {
+        let window = 300;
+        let mut fast: ExactWindow<u64> = ExactWindow::new(window);
+        let mut model: ExactWindow<u64> = ExactWindow::new(window);
+        let mut filler = 1u64 << 40;
+        let mut cursor = 0usize;
+        for (advance, n) in skips {
+            let end = (cursor + advance).min(stream.len());
+            for &key in &stream[cursor..end] {
+                fast.add(key);
+                model.add(key);
+            }
+            cursor = end;
+            fast.skip(n);
+            for _ in 0..n {
+                model.add(filler); // an eviction-without-insert stand-in
+                filler += 1;
+            }
+        }
+        prop_assert_eq!(fast.processed(), model.processed());
+        for key in 0u64..10 {
+            prop_assert_eq!(fast.query(&key), model.query(&key), "key {}", key);
+        }
+    }
+
+    /// Global-position windows: on the fully deterministic path (WCSS =
+    /// Memento with τ = 1), a sharded estimator over N ∈ {1, 2, 4} shards
+    /// answers exactly like the single-threaded estimator **on skewed key
+    /// distributions with streams well beyond the old per-shard `W/N`
+    /// window** — the case PR 2's count-based windows could not assert
+    /// (the shard owning the dominant flow would have expired packets the
+    /// single instance still covers). The router's gap stamps anchor every
+    /// shard at the global position, so below `W` global packets the
+    /// deterministic states coincide bit-for-bit (counters cover the key
+    /// universe on both sides, so no Space-Saving eviction differs).
+    #[test]
+    fn sharded_wcss_matches_single_threaded_on_skewed_streams(
+        stream in skewed_stream(6_000),
         shard_idx in 0usize..3,
     ) {
         let shards = SHARD_SWEEP[shard_idx];
-        let window = 8_000; // divisible by 1, 2, 4; W/N >= 2000 > |stream|
-        let counters = 40; // >= 10 keys per shard even at N = 4
+        let window = 8_000; // > |stream|: no frame flush / retirement yet
+        let counters = 40; // covers the 10-key universe in every partition
         let mut sharded: ShardedEstimator<u64> = ShardedEstimator::wcss(shards, counters, window);
         let mut single: Wcss<u64> = Wcss::new(counters, window);
         for &key in &stream {
@@ -57,9 +138,37 @@ proptest! {
         prop_assert_eq!(merged, expected);
     }
 
-    /// With an exact per-shard oracle the equivalence needs no counter
-    /// assumptions: any stream shorter than a per-shard window yields
-    /// exactly the single exact-window counts, for every shard count.
+    /// With an exact per-shard oracle the equivalence holds for *any*
+    /// stream length — far beyond the window, with expiry in full swing on
+    /// a heavily skewed stream, for every shard count: the per-key gap
+    /// stamps replay every item at its exact global position even through
+    /// buffered batches.
+    #[test]
+    fn sharded_exact_matches_exact_window_beyond_the_window(
+        stream in skewed_stream(2_000),
+        shard_idx in 0usize..3,
+    ) {
+        let shards = SHARD_SWEEP[shard_idx];
+        let window = 500; // much shorter than most streams: expiry is live
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(shards, window);
+        let mut oracle: ExactWindow<u64> = ExactWindow::new(window);
+        for &key in &stream {
+            sharded.update(key);
+            oracle.add(key);
+        }
+        prop_assert_eq!(sharded.processed(), stream.len() as u64);
+        for key in 0u64..10 {
+            prop_assert_eq!(
+                sharded.estimate(&key),
+                oracle.query(&key) as f64,
+                "exact counts diverge for key {} at {} shards", key, shards
+            );
+        }
+    }
+
+    /// Batched shipment keeps the exact-oracle equivalence as long as the
+    /// stream stays inside the window (estimates below `W` positions are
+    /// insensitive to the in-flight batch compression).
     #[test]
     fn sharded_exact_matches_exact_window_counts(
         stream in prop::collection::vec(0u64..200, 50..1500),
@@ -94,8 +203,9 @@ proptest! {
 fn sharded_estimators_ride_behind_the_trait_object() {
     let window = 40_000;
     let counters = 512;
-    // Short enough that no per-shard window (W/4 = 10_000) expires: the
-    // error bounds then hold sharded exactly as they do single-threaded.
+    // Short enough that nothing expires: every shard's full-W global-
+    // position window then covers the whole stream, and the error bounds
+    // hold sharded exactly as they do single-threaded.
     let packets: Vec<u64> = {
         let mut gen = TraceGenerator::new(TracePreset::datacenter(), 99);
         (0..8_000).map(|_| gen.next_packet().flow()).collect()

@@ -142,6 +142,76 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 
+/// Strategy always producing a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One weighted arm of a [`Union`]: its weight and a boxed generator over
+/// the union's shared value type.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// A weighted union of strategies over one value type, built by
+/// [`prop_oneof!`]: each generation picks one arm with probability
+/// proportional to its weight.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union from `(weight, generator)` arms.
+    ///
+    /// # Panics
+    /// Panics when `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(
+            arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof needs at least one arm with positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                return arm(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("pick is below the weight total")
+    }
+}
+
+/// Weighted choice between strategies producing the same value type
+/// (proptest's `prop_oneof!`, weighted form only: `weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let strategy = $strategy;
+                    Box::new(move |rng: &mut $crate::TestRng| {
+                        $crate::Strategy::generate(&strategy, rng)
+                    }) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+                },
+            )),+
+        ])
+    }};
+}
+
 /// Strategy combinators, mirroring proptest's `prop` module.
 pub mod prop {
     /// Collection strategies.
@@ -180,8 +250,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
-        TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
     };
 }
 
@@ -313,6 +383,27 @@ mod tests {
             prop_assert!(a < b, "a themed {a} must be below {b}");
             prop_assert_eq!(xs.len(), xs.len());
         }
+    }
+
+    #[test]
+    fn oneof_respects_weights_and_just_is_constant() {
+        let mut rng = crate::TestRng::deterministic("oneof");
+        let strategy = prop_oneof![
+            9 => Just(7u64),
+            1 => 100u64..110,
+        ];
+        let mut constants = 0;
+        for _ in 0..1_000 {
+            match Strategy::generate(&strategy, &mut rng) {
+                7u64 => constants += 1,
+                v => assert!((100..110).contains(&v), "unexpected value {v}"),
+            }
+        }
+        // ~90% of draws should take the heavy arm.
+        assert!(
+            (800..=1_000).contains(&constants),
+            "constants = {constants}"
+        );
     }
 
     #[test]

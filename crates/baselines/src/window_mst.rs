@@ -74,8 +74,8 @@ where
 
     /// Advances the window over `n` packets observed elsewhere: fans out to
     /// every per-pattern WCSS instance (each tracks the same stream, keyed
-    /// by a different generalization), `H` bulk advances of O(1) amortized
-    /// each.
+    /// by a different generalization), `H` closed-form bulk advances, each
+    /// sublinear in `n`.
     pub fn skip(&mut self, n: u64) {
         for instance in &mut self.instances {
             instance.skip(n);

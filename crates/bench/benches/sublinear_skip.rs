@@ -1,0 +1,163 @@
+//! Closed-form `skip(n)` vs the pre-closed-form event walk.
+//!
+//! PR 3 made `skip(n)` walk block/frame boundaries one event at a time
+//! (`O(n / block_size)` for Memento, `O(evicted)` per-slot pops for
+//! `ExactWindow`). The closed form computes rotations, flushes and drains
+//! arithmetically, so a bulk advance costs `O(min(rotations, k))` structural
+//! work — independent of `n` — and `O(1)` once the expired state is
+//! drained. Both implementations stay in the tree (`skip_reference` is the
+//! old walk, asserted bit-for-bit equal by the differential tests); this
+//! bench measures the gap.
+//!
+//! The acceptance bar is **≥ 10×** on `skip(W)` for both Memento and
+//! `ExactWindow` against the reference walk (the `steady` rows for Memento,
+//! where repeated window-sized advances hit the drained fast path — the
+//! sharded engines' tail skips after the first are exactly this shape — and
+//! the full-ring rows for `ExactWindow`, where the walk pays `W` hash-table
+//! decrements and the closed form one wholesale clear).
+//!
+//! Run with `cargo bench -p memento-bench --bench sublinear_skip`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use memento_core::Memento;
+use memento_sketches::ExactWindow;
+
+/// A Memento with live overflow state: skewed warm-up over two windows.
+fn warm_memento(counters: usize, window: usize) -> Memento<u64> {
+    let mut memento = Memento::new(counters, window, 1.0, 7);
+    for i in 0..2 * window as u64 {
+        // ~20 hot flows over a quadratically skewed universe.
+        memento.update((i * i) % 19);
+    }
+    memento
+}
+
+/// An ExactWindow whose ring is full (W recorded positions, ~1k flows).
+fn full_exact_window(window: usize) -> ExactWindow<u64> {
+    let mut exact = ExactWindow::new(window);
+    for i in 0..window as u64 {
+        exact.add(i % 1_000);
+    }
+    exact
+}
+
+fn bench_memento_skip(c: &mut Criterion) {
+    let window = 100_000;
+    let counters = 512;
+
+    let mut group = c.benchmark_group("skip_w/memento");
+    group.throughput(Throughput::Elements(window as u64));
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // Steady state: repeated skip(W) on one instance. After the first
+    // advance the overflow state is fully drained, so the closed form is
+    // O(1) per call while the reference walk still visits every block
+    // boundary — the regime a sharded worker's tail skips live in.
+    let mut closed = warm_memento(counters, window);
+    group.bench_function(BenchmarkId::new("closed_form", "steady"), |b| {
+        b.iter(|| {
+            closed.skip(window as u64);
+            closed.processed()
+        })
+    });
+    let mut walk = warm_memento(counters, window);
+    group.bench_function(BenchmarkId::new("pr3_walk", "steady"), |b| {
+        b.iter(|| {
+            walk.skip_reference(window as u64);
+            walk.processed()
+        })
+    });
+
+    // Cold state: every iteration advances a freshly warmed instance, so
+    // both sides also pay the wholesale drain of the live overflow state
+    // (iter_batched keeps the clone out of the measurement).
+    let warmed = warm_memento(counters, window);
+    group.bench_function(BenchmarkId::new("closed_form", "cold"), |b| {
+        b.iter_batched(
+            || warmed.clone(),
+            |mut m| {
+                m.skip(window as u64);
+                m.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("pr3_walk", "cold"), |b| {
+        b.iter_batched(
+            || warmed.clone(),
+            |mut m| {
+                m.skip_reference(window as u64);
+                m.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_exact_window_skip(c: &mut Criterion) {
+    let window = 100_000;
+
+    let mut group = c.benchmark_group("skip_w/exact_window");
+    group.throughput(Throughput::Elements(window as u64));
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // skip(W) on a full ring: the closed form clears the ring and the
+    // count table wholesale; the reference walk pops all W slots with a
+    // hash-table decrement each.
+    let full = full_exact_window(window);
+    group.bench_function(BenchmarkId::new("closed_form", "full_ring"), |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut w| {
+                w.skip(window as u64);
+                w.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("pr3_walk", "full_ring"), |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut w| {
+                w.skip_reference(window as u64);
+                w.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Partial advance (W/4): range eviction via binary search + prefix
+    // drain vs the per-slot pop walk over the same quarter of the ring.
+    group.bench_function(BenchmarkId::new("closed_form", "quarter"), |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut w| {
+                w.skip(window as u64 / 4);
+                w.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("pr3_walk", "quarter"), |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut w| {
+                w.skip_reference(window as u64 / 4);
+                w.processed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memento_skip, bench_exact_window_skip);
+criterion_main!(benches);

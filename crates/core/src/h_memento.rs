@@ -138,9 +138,9 @@ where
 
     /// Advances the window over `n` packets observed elsewhere without
     /// recording them. All prefix levels share the single underlying
-    /// [`Memento`], so the bulk advance fans into one
+    /// [`Memento`], so the bulk advance fans into one closed-form
     /// [`Memento::skip`] call — exactly `n` unrecorded
-    /// [`Self::window_update`]s in O(1) amortized time.
+    /// [`Self::window_update`]s, in time sublinear in `n`.
     pub fn skip(&mut self, n: u64) {
         self.memento.skip(n);
     }

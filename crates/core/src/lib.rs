@@ -40,7 +40,7 @@
 //! [paper]: https://arxiv.org/abs/1810.02899
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod config;

@@ -390,32 +390,135 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     /// shards of a hash-partitioned deployment, other measurement points of
     /// a network-wide one — without recording them: exactly equivalent to
     /// `n` [`Self::window_update`] calls (bit-for-bit, asserted by the
-    /// workspace's property tests), but O(1) amortized via bulk block
-    /// rotation instead of `n` per-packet walks. This is the D-Memento-style
-    /// bulk window update of §6 that lets a partitioned instance keep its
-    /// window at the *global* stream position.
+    /// workspace's property tests), computed in **closed form**. The cost is
+    /// independent of `n` — `O(min(rotations, k))` structural work plus one
+    /// retirement per actually-expired overflow entry (each entry is retired
+    /// once over its lifetime, so the retirements amortize against the Full
+    /// updates that queued them), and `O(1)` outright once the structure is
+    /// drained. This is the D-Memento-style bulk window update of §6 that
+    /// lets a partitioned instance keep its window at the *global* stream
+    /// position.
     ///
     /// Does not touch the geometric-skip state of
     /// [`Self::update_batch`]: skipped packets are recorded by their owners
     /// and are not candidates for this instance's τ-sampling.
     pub fn skip(&mut self, mut n: u64) {
-        // `advance_window` takes usize; chunk for 32-bit targets.
+        // `advance_window` takes usize; chunk for 32-bit targets (and leave
+        // headroom so `m + n` cannot overflow the position arithmetic).
         while n > 0 {
-            let step = n.min(usize::MAX as u64);
+            let step = n.min((usize::MAX - self.window) as u64);
             self.advance_window(step as usize);
             n -= step;
         }
     }
 
-    /// Advances the window by `n` packets at once: *exactly* equivalent to
-    /// `n` [`Self::window_update`] calls, but walking block boundaries
-    /// instead of packets. Frame flushes and block rotations fire at the
-    /// same stream positions, and the de-amortized overflow draining spends
-    /// its one-pop-per-packet budget against the same queues a per-packet
-    /// walk would: `step − 1` pops before a rotation (the packets inside the
-    /// old block) and one pop right after it (the packet that crossed the
-    /// boundary pops from the freshly rotated-in queue).
+    /// Bit-for-bit reference for [`Self::skip`]: the event-walking bulk
+    /// advance this crate shipped before the closed form (one loop iteration
+    /// per block/frame boundary crossed, `O(n / block_size)` for a skip of
+    /// `n`). Kept for the differential tests and as the baseline of the
+    /// `sublinear_skip` bench; not part of the supported API.
+    #[doc(hidden)]
+    pub fn skip_reference(&mut self, mut n: u64) {
+        while n > 0 {
+            let step = n.min((usize::MAX - self.window) as u64);
+            self.advance_window_walk(step as usize);
+            n -= step;
+        }
+    }
+
+    /// Advances the window by `n` packets at once, in closed form: *exactly*
+    /// equivalent to `n` [`Self::window_update`] calls, but sublinear in `n`.
+    ///
+    /// The equivalence argument, piece by piece:
+    ///
+    /// * **Frame flushes** — a per-packet walk calls [`SpaceSaving::flush`]
+    ///   at every frame boundary it crosses; with no insertions in between,
+    ///   repeated flushes equal one, so flushing once iff the advance
+    ///   crosses any frame boundary gives the same final `y`.
+    /// * **Block rotations** — the number of boundaries crossed is counted
+    ///   arithmetically ([`Self::rotations_within`]). Every queue that
+    ///   rotates out of the window during the advance ends up *fully*
+    ///   retired on the per-packet path too, no matter how the de-amortized
+    ///   one-pop-per-packet budget fell: pops retire from the queue at the
+    ///   front, and whatever the pops missed is retired by the rotation
+    ///   that drops the queue. Draining each dropped block wholesale
+    ///   ([`OverflowQueue::rotate_drain`]) therefore lands in the identical
+    ///   state. If at least `k + 1` boundaries are crossed, every block —
+    ///   including the current one — rotates out and the whole structure
+    ///   (queues and the `B` table, whose entries correspond 1:1 to queued
+    ///   identifiers) is cleared wholesale, making the cost of an
+    ///   arbitrarily large `n` independent of `n`.
+    /// * **The trailing drain** — only the pops *after the final rotation*
+    ///   are visible in the end state (earlier pops hit queues that rotate
+    ///   out anyway). The per-packet walk grants one pop to the packet that
+    ///   crossed the last boundary plus one per remaining packet, i.e.
+    ///   `m_final % block_size + 1` pops; with no rotation crossed the
+    ///   budget is all `n` packets.
     fn advance_window(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.processed += n as u64;
+        let rotations = self.rotations_within(n);
+        let crossed_frame = n >= self.window - self.m;
+        self.m = (((self.m as u128) + (n as u128)) % (self.window as u128)) as usize;
+        if crossed_frame {
+            self.y.flush();
+        }
+        if rotations == 0 {
+            self.drain_expired(n);
+            return;
+        }
+        if rotations >= self.b.queue_count() as u64 {
+            // Every block rotated out of the window: all queued identifiers
+            // expire, and with them every overflow count (the B table's
+            // entries correspond 1:1 to queued identifiers).
+            self.b.clear();
+            self.overflow_counts.clear();
+            return;
+        }
+        let counts = &mut self.overflow_counts;
+        self.b.rotate_drain(rotations as usize, |key| {
+            if let Some(c) = counts.get_mut(&key) {
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&key);
+                }
+            }
+        });
+        self.drain_expired(self.m % self.block_size + 1);
+    }
+
+    /// Number of block rotations a per-packet walk would perform while
+    /// advancing `n` positions from the current `m`: the count of positions
+    /// in `(m, m + n]` that land on a multiple of the block size modulo the
+    /// frame (the frame wrap at `W → 0` counts — position 0 rotates even
+    /// when `W` is not a multiple of the block size).
+    fn rotations_within(&self, n: usize) -> u64 {
+        let w = self.window as u64;
+        let s = self.block_size as u64;
+        let m = self.m as u64;
+        let n = n as u64;
+        // Boundaries per full frame: the multiples of s in [0, W-1].
+        let per_frame = w.div_ceil(s);
+        let full_frames = n / w;
+        let remainder = n % w;
+        let end = m + remainder; // < 2W: at most one wrap below.
+        let partial = if end < w {
+            end / s - m / s
+        } else {
+            // (m, W): multiples of s strictly above m; the wrap at 0; and
+            // the multiples of s in [1, end - W] (end - W < m < W, so no
+            // second wrap).
+            ((w - 1) / s - m / s) + 1 + (end - w) / s
+        };
+        full_frames * per_frame + partial
+    }
+
+    /// The pre-closed-form bulk advance (the `skip_reference` walk): one
+    /// loop iteration per block/frame boundary, the de-amortized drain
+    /// budget spent as `step − 1` pops before each rotation and 1 after it.
+    fn advance_window_walk(&mut self, n: usize) {
         if n == 0 {
             return;
         }
@@ -922,6 +1025,58 @@ mod tests {
                 naive.estimate(&flow).to_bits(),
                 "positioned replay diverges for flow {flow}"
             );
+        }
+    }
+
+    /// The closed-form `skip` must match the event-walking reference
+    /// (`skip_reference`) bit-for-bit — including *after* the skip, when
+    /// both instances keep recording: a structural divergence in the block
+    /// queues would surface as different retirement schedules later.
+    #[test]
+    fn closed_form_skip_equals_reference_walk() {
+        // W deliberately not a multiple of the block count: block size 77,
+        // a short final block, rotation positions {0, 77, ..., 693}.
+        let window = 700;
+        let counters = 9;
+        for &n in &[
+            1u64, 76, 77, 78, 500, 693, 699, 700, 701, 770, 1_400, 7_007, 70_001,
+        ] {
+            for &warm in &[0usize, 350, 1_650] {
+                let mut closed = Memento::new(counters, window, 1.0, 5);
+                let mut walk = Memento::new(counters, window, 1.0, 5);
+                let mut rng = StdRng::seed_from_u64(n ^ warm as u64);
+                for _ in 0..warm {
+                    let key = (rng.gen::<f64>().powi(2) * 25.0) as u64;
+                    closed.update(key);
+                    walk.update(key);
+                }
+                closed.skip(n);
+                walk.skip_reference(n);
+                assert_eq!(closed.processed(), walk.processed());
+                assert_eq!(closed.tracked_overflows(), walk.tracked_overflows());
+                for key in 0..25u64 {
+                    assert_eq!(
+                        closed.estimate(&key).to_bits(),
+                        walk.estimate(&key).to_bits(),
+                        "skip({n}) after {warm} packets diverges for key {key}"
+                    );
+                }
+                // Keep recording: the post-skip structures must behave
+                // identically too.
+                for _ in 0..900 {
+                    let key = (rng.gen::<f64>().powi(2) * 25.0) as u64;
+                    closed.update(key);
+                    walk.update(key);
+                }
+                assert_eq!(closed.tracked_overflows(), walk.tracked_overflows());
+                for key in 0..25u64 {
+                    assert_eq!(
+                        closed.estimate(&key).to_bits(),
+                        walk.estimate(&key).to_bits(),
+                        "post-skip({n}) stream diverges for key {key}"
+                    );
+                }
+            }
         }
     }
 

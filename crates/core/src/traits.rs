@@ -64,13 +64,45 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// `W` packets of the combined stream, of which this instance recorded
     /// only its own share. Implementations must be equivalent to `n`
     /// unrecorded single-packet window advances but are expected to run in
-    /// O(1) amortized time (block rotation for Memento/WCSS, position
-    /// arithmetic for exact windows).
+    /// time **sublinear in `n`** — the workspace's window implementations
+    /// compute block rotations, frame flushes and expiry drains in closed
+    /// form (Memento/WCSS) or evict by position range (exact windows), so
+    /// the cost of a skip is independent of `n` and `O(1)` once the expired
+    /// state is drained.
     ///
     /// Interval (landmark-window) estimators have no window to advance and
     /// implement this as a documented no-op; they must also opt out of
     /// [`mergeable`](Self::mergeable) so sharded-window engines refuse them
     /// at construction.
+    ///
+    /// # Contract: `skip(n)` ≡ `n` unrecorded window advances
+    ///
+    /// ```
+    /// use memento_core::traits::SlidingWindowEstimator;
+    /// use memento_core::Memento;
+    ///
+    /// // Two identical instances over a 60-packet window (τ = 1: WCSS
+    /// // mode, fully deterministic).
+    /// let mut bulk: Memento<u64> = Memento::new(6, 60, 1.0, 7);
+    /// let mut per_packet: Memento<u64> = Memento::new(6, 60, 1.0, 7);
+    /// for i in 0..45u64 {
+    ///     bulk.update(i % 3);
+    ///     per_packet.update(i % 3);
+    /// }
+    /// // 40 packets observed elsewhere: one closed-form skip on the left,
+    /// // 40 per-packet window advances on the right.
+    /// SlidingWindowEstimator::skip(&mut bulk, 40);
+    /// for _ in 0..40 {
+    ///     per_packet.window_update();
+    /// }
+    /// for key in 0..3u64 {
+    ///     assert_eq!(
+    ///         SlidingWindowEstimator::estimate(&bulk, &key),
+    ///         SlidingWindowEstimator::estimate(&per_packet, &key),
+    ///     );
+    /// }
+    /// assert_eq!(bulk.processed(), per_packet.processed());
+    /// ```
     fn skip(&mut self, n: u64);
 
     /// Processes a *gap-stamped* batch: before each `keys[i]`, the window
@@ -79,9 +111,14 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// routed to other shards since this shard's previous key, so a shard
     /// replays its exact global positions).
     ///
-    /// The provided implementation interleaves [`skip`](Self::skip) and
-    /// [`update`](Self::update) per key and must be the observable
-    /// behaviour of any override; implementors with a cheaper fused path
+    /// The provided implementation **coalesces the stamps into runs**: each
+    /// run of zero-gap keys (consecutive own packets) becomes one
+    /// [`update_batch`](Self::update_batch) call — inheriting the
+    /// implementor's batch fast path — and each positive gap (a run of
+    /// foreign packets) becomes exactly one closed-form
+    /// [`skip`](Self::skip). The observable behaviour is that of the
+    /// per-key interleaving `skip(gaps[i]); update(keys[i])`, which any
+    /// override must preserve; implementors with a cheaper fused path
     /// (Memento folds the gaps into its geometric-skip sampling walk)
     /// override it.
     ///
@@ -89,11 +126,18 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// Implementations may assume and assert `gaps.len() == keys.len()`.
     fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
         assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
-        for (gap, key) in gaps.iter().zip(keys) {
-            if *gap > 0 {
-                self.skip(*gap);
+        let mut run_start = 0usize;
+        for (i, &gap) in gaps.iter().enumerate() {
+            if gap > 0 {
+                if run_start < i {
+                    self.update_batch(&keys[run_start..i]);
+                }
+                self.skip(gap);
+                run_start = i;
             }
-            self.update(key.clone());
+        }
+        if run_start < keys.len() {
+            self.update_batch(&keys[run_start..]);
         }
     }
 
@@ -155,8 +199,8 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
         Memento::update_batch(self, keys);
     }
 
-    /// O(1)-amortized bulk window advance via block rotation
-    /// ([`Memento::skip`]).
+    /// Closed-form bulk window advance — rotation counting plus wholesale
+    /// block drains, sublinear in `n` ([`Memento::skip`]).
     #[inline]
     fn skip(&mut self, n: u64) {
         Memento::skip(self, n);
@@ -217,8 +261,8 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
         self.as_memento_mut().update_batch(keys);
     }
 
-    /// O(1)-amortized bulk window advance via block rotation
-    /// ([`Wcss::skip`]).
+    /// Closed-form bulk window advance — rotation counting plus wholesale
+    /// block drains, sublinear in `n` ([`Wcss::skip`]).
     #[inline]
     fn skip(&mut self, n: u64) {
         Wcss::skip(self, n);
@@ -262,8 +306,9 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
         self.add(key);
     }
 
-    /// Global-position eviction: the advance expires exactly the recorded
-    /// items that fall out of the last `W` stream positions
+    /// Global-position range eviction: the advance expires exactly the
+    /// recorded items that fall out of the last `W` stream positions, by
+    /// binary-searched prefix drain or whole-ring clear
     /// ([`ExactWindow::skip`]).
     #[inline]
     fn skip(&mut self, n: u64) {
@@ -363,23 +408,64 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     /// without recording them (see
     /// [`SlidingWindowEstimator::skip`]): the D-Memento-style bulk window
     /// update that keeps a partitioned instance's window at the global
-    /// stream position. Interval algorithms (MST, RHHH) have no window to
-    /// advance and implement this as a documented no-op.
+    /// stream position, required to run in time sublinear in `n`. Interval
+    /// algorithms (MST, RHHH) have no window to advance and implement this
+    /// as a documented no-op.
+    ///
+    /// # Contract: `skip(n)` ≡ `n` unrecorded window advances
+    ///
+    /// ```
+    /// use memento_core::traits::HhhAlgorithm;
+    /// use memento_core::HMemento;
+    /// use memento_hierarchy::{Prefix1D, SrcHierarchy};
+    ///
+    /// // Two identical instances (τ = 1: deterministic level sampling
+    /// // shares the seeded RNG, identical on both sides).
+    /// let mut bulk = HMemento::new(SrcHierarchy, 64, 60, 1.0, 0.01, 3);
+    /// let mut per_packet = HMemento::new(SrcHierarchy, 64, 60, 1.0, 0.01, 3);
+    /// for i in 0..45u32 {
+    ///     bulk.update(u32::from_be_bytes([10, 0, 0, (i % 3) as u8]));
+    ///     per_packet.update(u32::from_be_bytes([10, 0, 0, (i % 3) as u8]));
+    /// }
+    /// // 40 packets observed elsewhere: one closed-form skip on the left,
+    /// // 40 per-packet window advances on the right.
+    /// HhhAlgorithm::<SrcHierarchy>::skip(&mut bulk, 40);
+    /// for _ in 0..40 {
+    ///     per_packet.window_update();
+    /// }
+    /// let subnet = Prefix1D::new(u32::from_be_bytes([10, 0, 0, 0]), 8);
+    /// assert_eq!(
+    ///     HhhAlgorithm::<SrcHierarchy>::estimate(&bulk, &subnet),
+    ///     HhhAlgorithm::<SrcHierarchy>::estimate(&per_packet, &subnet),
+    /// );
+    /// assert_eq!(bulk.processed(), per_packet.processed());
+    /// ```
     fn skip(&mut self, n: u64);
 
     /// Processes a gap-stamped batch: before each `items[i]`, the window
     /// advances over `gaps[i]` packets recorded elsewhere (see
-    /// [`SlidingWindowEstimator::update_batch_positioned`]).
+    /// [`SlidingWindowEstimator::update_batch_positioned`]). Like the
+    /// estimator-side default, the provided implementation coalesces the
+    /// stamps into runs: one [`update_batch`](Self::update_batch) per run
+    /// of zero-gap items, one closed-form [`skip`](Self::skip) per
+    /// positive gap.
     ///
     /// # Panics
     /// Implementations may assume and assert `gaps.len() == items.len()`.
     fn update_batch_positioned(&mut self, gaps: &[u64], items: &[Hi::Item]) {
         assert_eq!(gaps.len(), items.len(), "one gap stamp per item");
-        for (gap, &item) in gaps.iter().zip(items) {
-            if *gap > 0 {
-                self.skip(*gap);
+        let mut run_start = 0usize;
+        for (i, &gap) in gaps.iter().enumerate() {
+            if gap > 0 {
+                if run_start < i {
+                    self.update_batch(&items[run_start..i]);
+                }
+                self.skip(gap);
+                run_start = i;
             }
-            self.update(item);
+        }
+        if run_start < items.len() {
+            self.update_batch(&items[run_start..]);
         }
     }
 

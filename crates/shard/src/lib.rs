@@ -22,11 +22,16 @@
 //!   [`skip(gap)`](memento_core::traits::SlidingWindowEstimator::skip)
 //!   before each key through the fused
 //!   `update_batch_positioned` path, the D-Memento-style bulk window
-//!   update of the Memento paper (§6). A shard's window therefore always
-//!   covers exactly the last `W` packets of the *combined* stream, no
-//!   matter how skewed the partition is (a count-based `W/N` window of a
-//!   shard's own packets does not: the shard owning a dominant flow would
-//!   cover far less than `W` global packets);
+//!   update of the Memento paper (§6). The skips are **closed-form** —
+//!   sublinear in the gap, `O(1)` in the drained steady state — and the
+//!   path coalesces consecutive stamps, so a run of foreign packets costs
+//!   one skip however long it is (a shard owning few keys under heavy
+//!   skew receives huge gaps and pays for them with arithmetic, not a
+//!   walk). A shard's window therefore always covers exactly the last
+//!   `W` packets of the *combined* stream, no matter how skewed the
+//!   partition is (a count-based `W/N` window of a shard's own packets
+//!   does not: the shard owning a dominant flow would cover far less
+//!   than `W` global packets);
 //! * feed shards *batches* over bounded channels, reusing each algorithm's
 //!   `update_batch` fast path (for Memento, the geometric skip sampling of
 //!   §5) and getting backpressure for free;
@@ -53,7 +58,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod estimator;
 mod hhh;

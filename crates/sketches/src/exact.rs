@@ -135,15 +135,56 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
     /// Advances the stream position over `n` packets observed elsewhere
     /// without recording them, expiring whatever the advance pushes out of
     /// the last `W` positions — for a full window, exactly equivalent to
-    /// `n` evictions without an insert. O(evicted), so O(1) amortized
-    /// against the adds that populated the ring.
+    /// `n` evictions without an insert.
+    ///
+    /// The eviction is a **range eviction**, not a per-slot pop walk: the
+    /// ring is position-sorted, so the expiry boundary is found by binary
+    /// search and the expired prefix is drained in one pass; when the
+    /// advance outruns every recorded position (`n ≥ W` on a full ring) the
+    /// ring and the count table are cleared wholesale — `O(distinct keys)`
+    /// instead of `W` per-slot pops with a hash-table decrement each, and
+    /// `O(1)` once the ring is empty.
     pub fn skip(&mut self, n: u64) {
+        self.processed += n;
+        let horizon = self.processed.saturating_sub(self.window as u64);
+        match self.ring.back() {
+            None => {}
+            Some((newest, _)) if *newest <= horizon => {
+                // Every recorded item expired: retire the whole ring without
+                // touching individual counts.
+                self.ring.clear();
+                self.counts.clear();
+            }
+            _ => {
+                // Positions are strictly increasing along the ring: binary-
+                // search the expiry boundary, then retire the prefix.
+                let cut = self.ring.partition_point(|(pos, _)| *pos <= horizon);
+                for (_, old) in self.ring.drain(..cut) {
+                    if let Some(c) = self.counts.get_mut(&old) {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.counts.remove(&old);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bit-for-bit reference for [`Self::skip`]: the per-slot eviction loop
+    /// this crate shipped before the range eviction (`O(evicted)` front
+    /// pops, each with a hash-table decrement). Kept for the differential
+    /// tests and as the baseline of the `sublinear_skip` bench; not part of
+    /// the supported API.
+    #[doc(hidden)]
+    pub fn skip_reference(&mut self, n: u64) {
         self.processed += n;
         self.evict_expired();
     }
 
     /// Drops recorded items whose position fell out of the last `W`
-    /// positions.
+    /// positions (the per-slot path: [`Self::add`] evicts at most one item
+    /// per call, so a pop walk is already optimal there).
     fn evict_expired(&mut self) {
         let horizon = self.processed.saturating_sub(self.window as u64);
         while let Some((pos, _)) = self.ring.front() {
@@ -322,6 +363,38 @@ mod tests {
                     assert_eq!(fast.query(&key), model.query(&key), "key {key} at step {i}");
                 }
                 assert_eq!(fast.processed(), model.processed());
+            }
+        }
+    }
+
+    /// The range-evicting `skip` must match the per-slot reference walk on
+    /// arbitrary add/skip interleavings, including whole-ring clears.
+    #[test]
+    fn range_eviction_skip_equals_per_slot_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let window = 90;
+        let mut fast: ExactWindow<u64> = ExactWindow::new(window);
+        let mut reference: ExactWindow<u64> = ExactWindow::new(window);
+        for step in 0..2_500u64 {
+            if rng.gen_bool(0.25) {
+                // Mix small advances, exact-window advances and overshoots.
+                let choices = [1, 7, window as u64 - 1, window as u64, 3 * window as u64];
+                let n = choices[rng.gen_range(0..choices.len())];
+                fast.skip(n);
+                reference.skip_reference(n);
+            } else {
+                let key = rng.gen_range(0u64..15);
+                fast.add(key);
+                reference.add(key);
+            }
+            if step % 37 == 0 {
+                assert_eq!(fast.processed(), reference.processed());
+                assert_eq!(fast.occupancy(), reference.occupancy());
+                assert_eq!(fast.distinct(), reference.distinct());
+                for key in 0u64..15 {
+                    assert_eq!(fast.query(&key), reference.query(&key), "key {key}");
+                }
             }
         }
     }

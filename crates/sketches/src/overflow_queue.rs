@@ -6,13 +6,18 @@
 //! that block — `k + 1` queues in total: the block currently being filled plus
 //! the `k` previous ones.
 //!
-//! Two operations matter:
+//! Three operations matter:
 //! * when a block ends, the oldest queue is dropped and a fresh empty queue is
 //!   appended ([`OverflowQueue::rotate`]);
 //! * on *every* packet at most one identifier is popped from the oldest queue
 //!   ([`OverflowQueue::pop_oldest`]) so that the per-flow overflow table `B`
 //!   is updated incrementally — this is the de-amortization that gives
-//!   Memento its constant worst-case update time (paper, §4.1).
+//!   Memento its constant worst-case update time (paper, §4.1);
+//! * when the window advances over many packets at once (`skip(n)` on the
+//!   enclosing algorithm), whole blocks rotate out in one call
+//!   ([`OverflowQueue::rotate_drain`]), each dropped block's queue drained
+//!   wholesale — the primitive behind the closed-form sublinear bulk
+//!   advance.
 
 use std::collections::VecDeque;
 
@@ -23,6 +28,9 @@ pub struct OverflowQueue<K> {
     /// block currently being filled.
     queues: VecDeque<VecDeque<K>>,
     blocks: usize,
+    /// Total identifiers across all queues, maintained incrementally so the
+    /// bulk-rotation paths can recognize the all-empty state in O(1).
+    pending: usize,
 }
 
 impl<K> OverflowQueue<K> {
@@ -37,7 +45,11 @@ impl<K> OverflowQueue<K> {
         for _ in 0..=blocks {
             queues.push_back(VecDeque::new());
         }
-        OverflowQueue { queues, blocks }
+        OverflowQueue {
+            queues,
+            blocks,
+            pending: 0,
+        }
     }
 
     /// Number of past blocks tracked (the `k` of Algorithm 1).
@@ -45,8 +57,18 @@ impl<K> OverflowQueue<K> {
         self.blocks
     }
 
+    /// Number of block queues held (`blocks + 1`: the past blocks plus the
+    /// current one). A bulk advance that rotates at least this many times
+    /// leaves every queue empty, which is what lets the enclosing
+    /// algorithm's `skip(n)` collapse an arbitrarily large `n` into a
+    /// wholesale clear.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
     /// Records that `key` overflowed during the current block.
     pub fn push_current(&mut self, key: K) {
+        self.pending += 1;
         self.queues
             .back_mut()
             .expect("queue list is never empty")
@@ -59,10 +81,15 @@ impl<K> OverflowQueue<K> {
         // The oldest non-empty queue among the expired ones would normally be
         // `queues[0]`; popping strictly from the front matches Algorithm 1
         // (`b.tail.POP()`).
-        self.queues
+        let popped = self
+            .queues
             .front_mut()
             .expect("queue list is never empty")
-            .pop_front()
+            .pop_front();
+        if popped.is_some() {
+            self.pending -= 1;
+        }
+        popped
     }
 
     /// Block-boundary rotation: drops the oldest queue and appends a fresh
@@ -73,12 +100,58 @@ impl<K> OverflowQueue<K> {
     pub fn rotate(&mut self) -> VecDeque<K> {
         let dropped = self.queues.pop_front().expect("queue list is never empty");
         self.queues.push_back(VecDeque::new());
+        self.pending -= dropped.len();
         dropped
+    }
+
+    /// Bulk block-boundary rotation: exactly equivalent to `rotations` ×
+    /// ([`Self::rotate`] + retiring every returned identifier through
+    /// `retire`), but sublinear in `rotations`:
+    ///
+    /// * with nothing pending anywhere the call returns immediately —
+    ///   rotating empty queues only renames indistinguishable empty blocks,
+    ///   so the shortcut is exact, not approximate;
+    /// * `rotations ≥ queue_count()` drains *every* queue (each block,
+    ///   including the current one, rotates out of the window) without
+    ///   spinning through the excess rotations;
+    /// * otherwise each dropped block's queue is drained wholesale and its
+    ///   emptied allocation is reused as the fresh queue of a new block
+    ///   (no per-rotation allocation, unlike [`Self::rotate`]), stopping
+    ///   early once nothing is pending.
+    ///
+    /// This is the drain-whole-block primitive behind the closed-form
+    /// `skip(n)` of the Memento/WCSS window algorithms.
+    pub fn rotate_drain<F: FnMut(K)>(&mut self, rotations: usize, mut retire: F) {
+        if self.pending == 0 {
+            return;
+        }
+        if rotations >= self.queues.len() {
+            for queue in &mut self.queues {
+                for key in queue.drain(..) {
+                    retire(key);
+                }
+            }
+            self.pending = 0;
+            return;
+        }
+        for _ in 0..rotations {
+            let mut dropped = self.queues.pop_front().expect("queue list is never empty");
+            self.pending -= dropped.len();
+            for key in dropped.drain(..) {
+                retire(key);
+            }
+            // Reuse the emptied allocation as the new current block.
+            self.queues.push_back(dropped);
+            if self.pending == 0 {
+                // The remaining rotations would only rename empty blocks.
+                return;
+            }
+        }
     }
 
     /// Total number of queued identifiers across all blocks.
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.pending
     }
 
     /// Number of identifiers queued in the current (newest) block.
@@ -99,11 +172,17 @@ impl<K> OverflowQueue<K> {
             + std::mem::size_of::<Self>()
     }
 
-    /// Clears every queue (used when the enclosing algorithm is reset).
+    /// Clears every queue (used when the enclosing algorithm is reset and by
+    /// the closed-form `skip(n)` once an advance rotates every block out of
+    /// the window). O(1) when nothing is pending.
     pub fn clear(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
         for q in &mut self.queues {
             q.clear();
         }
+        self.pending = 0;
     }
 }
 
@@ -177,5 +256,89 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_panics() {
         let _ = OverflowQueue::<u32>::new(0);
+    }
+
+    /// `rotate_drain(r, retire)` retires exactly what `r` × (`rotate` +
+    /// retire-the-dropped) would, for every `r` relative to the queue count,
+    /// and leaves the same observable queue contents behind.
+    #[test]
+    fn rotate_drain_matches_repeated_rotate() {
+        for rotations in [0usize, 1, 2, 3, 4, 5, 9] {
+            let mut bulk = OverflowQueue::new(3); // 4 queues
+            let mut reference = OverflowQueue::new(3);
+            // Spread keys over several blocks by interleaving pushes and
+            // rotations, leaving some queues empty.
+            let fill = |q: &mut OverflowQueue<u32>| {
+                q.push_current(1);
+                q.push_current(2);
+                q.rotate();
+                q.push_current(3);
+                q.rotate();
+                q.rotate();
+                q.push_current(4);
+                q.push_current(5);
+            };
+            fill(&mut bulk);
+            fill(&mut reference);
+            let mut bulk_retired = Vec::new();
+            bulk.rotate_drain(rotations, |k| bulk_retired.push(k));
+            let mut ref_retired = Vec::new();
+            for _ in 0..rotations {
+                ref_retired.extend(reference.rotate());
+            }
+            bulk_retired.sort_unstable();
+            ref_retired.sort_unstable();
+            assert_eq!(bulk_retired, ref_retired, "rotations = {rotations}");
+            assert_eq!(
+                bulk.pending(),
+                reference.pending(),
+                "rotations = {rotations}"
+            );
+            assert_eq!(
+                bulk.oldest_len(),
+                reference.oldest_len(),
+                "rotations = {rotations}"
+            );
+            assert_eq!(
+                bulk.current_len(),
+                reference.current_len(),
+                "rotations = {rotations}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotate_drain_past_every_queue_drains_everything() {
+        let mut q = OverflowQueue::new(2);
+        q.push_current(1);
+        q.rotate();
+        q.push_current(2);
+        let mut retired = Vec::new();
+        q.rotate_drain(100, |k| retired.push(k));
+        retired.sort_unstable();
+        assert_eq!(retired, vec![1, 2]);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.queue_count(), 3);
+    }
+
+    #[test]
+    fn pending_is_maintained_incrementally() {
+        let mut q = OverflowQueue::new(2);
+        assert_eq!(q.pending(), 0);
+        q.push_current(1);
+        q.push_current(2);
+        assert_eq!(q.pending(), 2);
+        q.rotate();
+        q.rotate();
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.pop_oldest(), Some(1));
+        assert_eq!(q.pending(), 1);
+        let dropped = q.rotate(); // drops the queue still holding 2
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(q.pending(), 0);
+        // All-empty: rotate_drain must be a no-op without touching queues.
+        q.rotate_drain(50, |_| panic!("nothing to retire"));
+        q.clear();
+        assert_eq!(q.pending(), 0);
     }
 }

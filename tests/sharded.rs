@@ -96,6 +96,34 @@ proptest! {
         }
     }
 
+    /// The trait-provided `update_batch_positioned` coalesces gap stamps —
+    /// one closed-form `skip` per run of foreign packets, one `update_batch`
+    /// per run of own packets — and must equal the per-key
+    /// `skip(gap); update(key)` interleaving it documents (exactly, on a
+    /// deterministic implementor).
+    #[test]
+    fn default_positioned_batch_equals_per_key_interleaving(
+        pairs in prop::collection::vec((0u64..7, 0u64..30), 1..250),
+    ) {
+        let window = 100;
+        let mut coalesced: ExactWindow<u64> = ExactWindow::new(window);
+        let mut per_key: ExactWindow<u64> = ExactWindow::new(window);
+        let gaps: Vec<u64> = pairs.iter().map(|(g, _)| *g).collect();
+        let keys: Vec<u64> = pairs.iter().map(|(_, k)| *k).collect();
+        coalesced.update_batch_positioned(&gaps, &keys);
+        for (gap, key) in gaps.iter().zip(&keys) {
+            if *gap > 0 {
+                SlidingWindowEstimator::skip(&mut per_key, *gap);
+            }
+            SlidingWindowEstimator::update(&mut per_key, *key);
+        }
+        prop_assert_eq!(coalesced.processed(), per_key.processed());
+        prop_assert_eq!(coalesced.occupancy(), per_key.occupancy());
+        for key in 0u64..30 {
+            prop_assert_eq!(coalesced.query(&key), per_key.query(&key), "key {}", key);
+        }
+    }
+
     /// Global-position windows: on the fully deterministic path (WCSS =
     /// Memento with τ = 1), a sharded estimator over N ∈ {1, 2, 4} shards
     /// answers exactly like the single-threaded estimator **on skewed key

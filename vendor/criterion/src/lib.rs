@@ -61,6 +61,20 @@ impl Display for BenchmarkId {
     }
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`]. The stand-in times one
+/// routine call per setup call regardless of the hint (equivalent to real
+/// criterion's `PerIteration`), which is exact for setup-heavy benches; the
+/// variants exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input (real criterion batches many per setup).
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per timed iteration — what the stand-in always does.
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; drives the timed iterations.
 pub struct Bencher<'a> {
     mode: Mode,
@@ -96,6 +110,39 @@ impl Bencher<'_> {
         loop {
             let t = Instant::now();
             black_box(routine());
+            self.samples.push(t.elapsed());
+            let enough = self.samples.len() >= self.sample_size;
+            let budget_spent = measure_start.elapsed() >= self.measurement_time;
+            if enough && budget_spent {
+                break;
+            }
+            if self.samples.len() >= 4 * self.sample_size {
+                break;
+            }
+        }
+    }
+
+    /// Calls `routine` on a fresh input from `setup` per timed iteration,
+    /// excluding the setup cost from the measurement (criterion's
+    /// `iter_batched`; the `size` hint is accepted for API parity).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+        let measure_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
             self.samples.push(t.elapsed());
             let enough = self.samples.len() >= self.sample_size;
             let budget_spent = measure_start.elapsed() >= self.measurement_time;

@@ -29,10 +29,9 @@
 //! one-sided (as the paper does for comparability with MST), and scales by
 //! τ⁻¹ to compensate for sampling.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
-use memento_sketches::{OverflowQueue, Sampler, SpaceSaving, TableSampler};
+use memento_sketches::{CompactMap, OverflowQueue, Sampler, SpaceSaving, TableSampler};
 
 use crate::config::MementoConfig;
 
@@ -69,8 +68,11 @@ pub struct Memento<K: Eq + Hash + Clone> {
     y: SpaceSaving<K>,
     /// Per-block overflow queues.
     b: OverflowQueue<K>,
-    /// Overflow counts per flow within the window (the paper's `B`).
-    overflow_counts: HashMap<K, u32>,
+    /// Overflow counts per flow within the window (the paper's `B`): a
+    /// flat fingerprint-probed table ([`CompactMap`]) — with the
+    /// stream-summary index this is the other map on the per-packet path
+    /// (queried on every estimate, inserted/retired around overflows).
+    overflow_counts: CompactMap<K, u32>,
     /// Position inside the current frame (the paper's `M`).
     m: usize,
     /// τ-sampler (random-number table).
@@ -135,7 +137,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             scale: 1.0 / config.tau,
             y: SpaceSaving::new(config.counters),
             b: OverflowQueue::new(blocks),
-            overflow_counts: HashMap::new(),
+            overflow_counts: CompactMap::new(),
             m: 0,
             sampler: TableSampler::with_seed(config.tau, config.seed),
             batch_skip: None,
@@ -286,7 +288,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             // The flow's sampled count crossed a block's worth of Full
             // updates: record an overflow.
             self.b.push_current(key.clone());
-            *self.overflow_counts.entry(key).or_insert(0) += 1;
+            *self.overflow_counts.get_or_insert_with(key, || 0) += 1;
         }
     }
 
@@ -570,10 +572,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     /// is excluded — it is shared bookkeeping independent of the configured
     /// accuracy, and the paper compares algorithms by counter space.
     pub fn space_bytes(&self) -> usize {
-        self.y.space_bytes()
-            + self.b.space_bytes()
-            + self.overflow_counts.len()
-                * (std::mem::size_of::<K>() + std::mem::size_of::<u32>() + 16)
+        self.y.space_bytes() + self.b.space_bytes() + self.overflow_counts.heap_bytes()
     }
 
     fn retire_overflow(&mut self, key: &K) {
@@ -641,7 +640,11 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     /// counter. Every window heavy hitter is guaranteed to be in this set
     /// (it must overflow at least once per window).
     pub fn tracked_keys(&self) -> Vec<K> {
-        let mut keys: Vec<K> = self.overflow_counts.keys().cloned().collect();
+        let mut keys: Vec<K> = self
+            .overflow_counts
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         let known: std::collections::HashSet<K> = keys.iter().cloned().collect();
         for snap in self.y.snapshot() {
             if !known.contains(&snap.key) {

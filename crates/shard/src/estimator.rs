@@ -1,12 +1,11 @@
 //! Hash-partitioned multi-core engine for [`SlidingWindowEstimator`]s.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::Mutex;
 
 use memento_core::traits::SlidingWindowEstimator;
 use memento_core::{Memento, Wcss};
-use memento_sketches::ExactWindow;
+use memento_sketches::{fasthash, ExactWindow};
 
 use crate::router::Router;
 use crate::worker::ShardWorker;
@@ -158,12 +157,11 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
         self.flush_threshold = threshold;
     }
 
-    /// The shard owning `key`. Uses the std hasher with its fixed keys, so
-    /// the partition is deterministic across runs and processes.
+    /// The shard owning `key`: the workspace-wide
+    /// [`fasthash::route`] helper — one fast hash per routed key,
+    /// deterministic across runs and processes.
     fn shard_of(&self, key: &K) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() % self.workers.len() as u64) as usize
+        fasthash::route(key, self.workers.len())
     }
 
     /// Ships one shard's gap-stamped keys plus the trailing skip that

@@ -1,13 +1,13 @@
 //! Hash-partitioned multi-core engine for [`HhhAlgorithm`]s.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::Mutex;
 
 use memento_core::traits::HhhAlgorithm;
 use memento_core::HMemento;
 use memento_hierarchy::Hierarchy;
+use memento_sketches::fasthash;
 
 use crate::router::Router;
 use crate::worker::ShardWorker;
@@ -141,10 +141,10 @@ where
         self.workers.len()
     }
 
+    /// The shard owning `item`: the same [`fasthash::route`] helper as the
+    /// estimator engine — one fast hash per routed item.
     fn shard_of(&self, item: &Hi::Item) -> usize {
-        let mut hasher = DefaultHasher::new();
-        item.hash(&mut hasher);
-        (hasher.finish() % self.workers.len() as u64) as usize
+        fasthash::route(item, self.workers.len())
     }
 
     /// Ships one shard's gap-stamped items plus the trailing skip that

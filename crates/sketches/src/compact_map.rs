@@ -1,0 +1,505 @@
+//! A flat open-addressing map for the per-packet hot path.
+//!
+//! [`CompactMap`] replaces `std::collections::HashMap` on the structures a
+//! Full update touches (the [`StreamSummary`](crate::StreamSummary) key
+//! index, Memento's overflow table `B`). Design, in order of importance
+//! for cache behaviour:
+//!
+//! * **One-byte control array** (`ctrl`): each slot's occupancy plus a
+//!   7-bit *fingerprint* of its key's hash live in a dense `Vec<u8>`, so
+//!   a probe sequence walks one cache line of control bytes (64 slots)
+//!   before it ever touches a key — the SoA idea of SwissTable/hashbrown,
+//!   minus the SIMD and the `unsafe` (the crate forbids unsafe code, so
+//!   entries are `Option<(K, V)>` rather than `MaybeUninit`).
+//! * **Power-of-two capacity, linear probing**: the bucket index is
+//!   `hash & mask` (no integer division) and the probe step is +1, the
+//!   friendliest pattern for the prefetcher. The fast hash
+//!   ([`crate::fasthash`]) mixes low bits well enough for this to be safe.
+//! * **Backward-shift deletion, no tombstones**: removing a key shifts the
+//!   displaced tail of its probe cluster back (Knuth's Algorithm R
+//!   generalized to circular tables), so heavy churn — Memento retires an
+//!   overflow entry for every one it inserts, forever — never decays the
+//!   table into a tombstone field that each probe must wade through.
+//!
+//! The map resizes at 7/8 load; [`CompactMap::with_capacity`] pre-sizes the
+//! table so the requested number of keys fits without ever resizing (what
+//! the stream-summary index wants: its population is bounded by
+//! construction).
+
+use std::hash::Hash;
+
+use crate::fasthash::hash_one;
+
+/// Minimum number of slots (keeps the mask arithmetic trivial and small
+/// maps allocation-cheap).
+const MIN_SLOTS: usize = 8;
+
+/// Control byte for an empty slot. Fingerprints always have the top bit
+/// set, so 0 is unambiguous.
+const EMPTY: u8 = 0;
+
+/// A flat, power-of-two, linear-probing hash map with a separate one-byte
+/// fingerprint array and backward-shift deletion. See the module docs for
+/// the design rationale; see `tests/proptest_compact_map.rs` for the
+/// differential suite that pins its behaviour to `std`'s `HashMap`.
+#[derive(Debug, Clone)]
+pub struct CompactMap<K, V> {
+    /// One byte per slot: [`EMPTY`] or `0x80 | (hash >> 48) as u8`
+    /// (fingerprint from hash bits 48–54; see [`Self::decompose`] for why
+    /// those bits).
+    ctrl: Vec<u8>,
+    /// The slot payloads, parallel to `ctrl` (`Some` iff `ctrl[i] != EMPTY`).
+    entries: Vec<Option<(K, V)>>,
+    /// `ctrl.len() - 1`; `ctrl.len()` is a power of two.
+    mask: usize,
+    /// Occupied slot count.
+    len: usize,
+}
+
+impl<K: Eq + Hash, V> Default for CompactMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> CompactMap<K, V> {
+    /// Creates an empty map with the minimum table size.
+    pub fn new() -> Self {
+        Self::with_slots(MIN_SLOTS)
+    }
+
+    /// Creates a map that can hold `capacity` keys without resizing
+    /// (table sized so `capacity` stays within the 7/8 load limit).
+    pub fn with_capacity(capacity: usize) -> Self {
+        // slots * 7/8 >= capacity  ⇒  slots >= ceil(8c / 7).
+        let needed = capacity.saturating_mul(8).div_ceil(7).max(MIN_SLOTS);
+        Self::with_slots(needed.next_power_of_two())
+    }
+
+    fn with_slots(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        let mut entries = Vec::new();
+        entries.resize_with(slots, || None);
+        CompactMap {
+            ctrl: vec![EMPTY; slots],
+            entries,
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of keys in the map.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of keys the map can hold before its next resize.
+    pub fn capacity(&self) -> usize {
+        self.max_load()
+    }
+
+    /// The 7/8-of-slots load limit.
+    fn max_load(&self) -> usize {
+        let slots = self.ctrl.len();
+        slots - slots / 8
+    }
+
+    /// Home slot and fingerprint byte for a hash value: index from the low
+    /// bits, fingerprint from bits 48–54 (top bit forced on so a
+    /// fingerprint never equals [`EMPTY`]). The fingerprint bits are
+    /// deliberately disjoint from *both* consumers of the hash's ends: the
+    /// low bits index this table, and the topmost bits pick the shard in
+    /// [`crate::fasthash::route`] — a fingerprint drawn from either range
+    /// would lose entropy exactly when sharding or table growth fixes
+    /// those bits per table.
+    #[inline]
+    fn decompose(&self, hash: u64) -> (usize, u8) {
+        ((hash as usize) & self.mask, 0x80 | (hash >> 48) as u8)
+    }
+
+    /// Walks `key`'s probe sequence once: `Ok(slot)` when the key is
+    /// present, otherwise `Err((empty_slot, fingerprint))` — the
+    /// terminating empty slot, which is exactly where a no-resize insert
+    /// must place the key (so miss-then-insert pays one walk, not two).
+    /// The table is never full (load is capped at 7/8), so the probe
+    /// always terminates.
+    #[inline]
+    fn probe(&self, key: &K) -> Result<usize, (usize, u8)> {
+        let (mut i, fp) = self.decompose(hash_one(key));
+        loop {
+            let c = self.ctrl[i];
+            if c == EMPTY {
+                return Err((i, fp));
+            }
+            if c == fp {
+                if let Some((k, _)) = &self.entries[i] {
+                    if k == key {
+                        return Ok(i);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: &K) -> Option<usize> {
+        self.probe(key).ok()
+    }
+
+    /// Reference to the value stored for `key`.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key)
+            .map(|i| &self.entries[i].as_ref().expect("occupied slot").1)
+    }
+
+    /// Mutable reference to the value stored for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find(key)
+            .map(|i| &mut self.entries[i].as_mut().expect("occupied slot").1)
+    }
+
+    /// True when the map holds `key`.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Writes an absent `key → value` into `slot` (the terminating empty
+    /// slot [`Self::probe`] returned) and bumps `len`. The entry goes in
+    /// before the control byte so an unwinding value expression cannot
+    /// leave a fingerprint over an empty payload.
+    #[inline]
+    fn occupy(&mut self, slot: usize, fp: u8, key: K, value: V) {
+        self.entries[slot] = Some((key, value));
+        self.ctrl[slot] = fp;
+        self.len += 1;
+    }
+
+    /// Installs `key → value` in the first empty slot of its probe
+    /// sequence and returns that slot — the re-walking form used when no
+    /// prior probe result is valid (after [`Self::grow`] remapped every
+    /// slot). Callers guarantee `key` is absent; `len` is not touched
+    /// (grow re-installs existing entries).
+    #[inline]
+    fn install(&mut self, key: K, value: V) -> usize {
+        let (mut i, fp) = self.decompose(hash_one(&key));
+        while self.ctrl[i] != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.entries[i] = Some((key, value));
+        self.ctrl[i] = fp;
+        i
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key was
+    /// already present. One probe walk on every path (the miss walk ends
+    /// at the very slot the key goes into, unless the insert triggers a
+    /// resize).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.probe(&key) {
+            Ok(i) => {
+                let slot = self.entries[i].as_mut().expect("occupied slot");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            Err((slot, fp)) => {
+                if self.len + 1 > self.max_load() {
+                    self.grow();
+                    self.install(key, value);
+                    self.len += 1;
+                } else {
+                    self.occupy(slot, fp, key, value);
+                }
+                None
+            }
+        }
+    }
+
+    /// Mutable reference to the value for `key`, inserting
+    /// `default()` first when the key is absent (the hot-path shape of
+    /// `HashMap::entry(k).or_insert_with(f)`, hashing the key once and
+    /// walking the probe sequence once on either path). A panicking
+    /// `default` leaves the map unchanged.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let i = match self.probe(&key) {
+            Ok(i) => i,
+            Err((slot, fp)) => {
+                if self.len + 1 > self.max_load() {
+                    // Evaluate the default before growing: an unwinding
+                    // default must leave even the allocation untouched.
+                    let value = default();
+                    self.grow();
+                    let slot = self.install(key, value);
+                    self.len += 1;
+                    slot
+                } else {
+                    self.occupy(slot, fp, key, default());
+                    slot
+                }
+            }
+        };
+        &mut self.entries[i].as_mut().expect("occupied slot").1
+    }
+
+    /// Removes `key`, returning its value if it was present. Uses
+    /// backward-shift deletion: the displaced tail of the probe cluster
+    /// moves back over the vacated slot, leaving no tombstone.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let (_, value) = self.entries[hole].take().expect("occupied slot");
+        self.ctrl[hole] = EMPTY;
+        self.len -= 1;
+        // Knuth's Algorithm R on a circular table: walk the cluster after
+        // the hole; any entry whose home position is cyclically outside
+        // (hole, j] would become unreachable through the hole — move it
+        // into the hole and continue from its old slot.
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            if self.ctrl[j] == EMPTY {
+                return Some(value);
+            }
+            let home = {
+                let (k, _) = self.entries[j].as_ref().expect("occupied slot");
+                (hash_one(k) as usize) & self.mask
+            };
+            // Cyclic probe distances from the entry's home: if the hole is
+            // strictly closer to home than j is, the hole lies on the
+            // entry's probe path and the entry can (and must) fill it.
+            let dist_hole = hole.wrapping_sub(home) & self.mask;
+            let dist_j = j.wrapping_sub(home) & self.mask;
+            if dist_hole < dist_j {
+                self.entries[hole] = self.entries[j].take();
+                self.ctrl[hole] = self.ctrl[j];
+                self.ctrl[j] = EMPTY;
+                hole = j;
+            }
+        }
+    }
+
+    /// Removes every key, keeping the allocated table.
+    pub fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        self.ctrl.fill(EMPTY);
+        for slot in &mut self.entries {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over `(&key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Heap footprint of the table itself in bytes: the control array plus
+    /// the slot array, *at the allocated size* (the table never shrinks, so
+    /// a churn peak's allocation persists — `len`-based accounting would
+    /// understate it).
+    pub fn heap_bytes(&self) -> usize {
+        self.ctrl.len() * (1 + std::mem::size_of::<Option<(K, V)>>())
+    }
+
+    /// Doubles the table and re-inserts every entry.
+    fn grow(&mut self) {
+        let slots = self.ctrl.len() * 2;
+        let old_entries = std::mem::take(&mut self.entries);
+        self.ctrl = vec![EMPTY; slots];
+        self.entries = Vec::new();
+        self.entries.resize_with(slots, || None);
+        self.mask = slots - 1;
+        for (key, value) in old_entries.into_iter().flatten() {
+            self.install(key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m: CompactMap<u64, u32> = CompactMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(2, 20), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(&11));
+        assert_eq!(m.get(&2), Some(&20));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key(&1) && !m.contains_key(&3));
+    }
+
+    #[test]
+    fn get_mut_and_entry_shape() {
+        let mut m: CompactMap<&str, u32> = CompactMap::new();
+        *m.get_or_insert_with("a", || 0) += 1;
+        *m.get_or_insert_with("a", || 0) += 1;
+        assert_eq!(m.get(&"a"), Some(&2));
+        if let Some(v) = m.get_mut(&"a") {
+            *v = 9;
+        }
+        assert_eq!(m.get(&"a"), Some(&9));
+    }
+
+    #[test]
+    fn remove_returns_value_and_shrinks_len() {
+        let mut m: CompactMap<u64, u64> = CompactMap::new();
+        for i in 0..50 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.remove(&25), Some(50));
+        assert_eq!(m.remove(&25), None);
+        assert_eq!(m.len(), 49);
+        for i in 0..50 {
+            assert_eq!(m.get(&i).copied(), if i == 25 { None } else { Some(i * 2) });
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_clusters_reachable() {
+        // Insert enough keys to force long probe clusters in a small table,
+        // then delete from the middle of clusters and verify every survivor
+        // is still reachable.
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(64);
+        for i in 0..60 {
+            m.insert(i, i);
+        }
+        for i in (0..60).step_by(3) {
+            assert_eq!(m.remove(&i), Some(i));
+        }
+        for i in 0..60 {
+            let expect = if i % 3 == 0 { None } else { Some(&i) };
+            assert_eq!(m.get(&i), expect, "key {i} lost after churn");
+        }
+        assert_eq!(m.len(), 40);
+    }
+
+    #[test]
+    fn with_capacity_never_resizes_within_capacity() {
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(4096);
+        let slots = m.ctrl.len();
+        assert!(m.capacity() >= 4096);
+        for i in 0..4096 {
+            m.insert(i, i);
+        }
+        assert_eq!(
+            m.ctrl.len(),
+            slots,
+            "table resized below its stated capacity"
+        );
+        assert_eq!(m.len(), 4096);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: CompactMap<u64, u64> = CompactMap::new();
+        for i in 0..10_000 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000 {
+            assert_eq!(m.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_empties() {
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(100);
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        let slots = m.ctrl.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.ctrl.len(), slots);
+        assert_eq!(m.get(&5), None);
+        m.insert(5, 5);
+        assert_eq!(m.get(&5), Some(&5));
+    }
+
+    #[test]
+    fn panicking_default_leaves_map_unchanged() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut m: CompactMap<u64, u32> = CompactMap::new();
+        m.insert(1, 10);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            m.get_or_insert_with(2, || panic!("default exploded"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.len(), 1, "len must not count the failed insert");
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&1), Some(&10));
+        m.insert(2, 20);
+        assert_eq!(m.get(&2), Some(&20));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn panicking_default_at_max_load_leaves_allocation_unchanged() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Fill a fresh map exactly to its load limit so the next miss
+        // would grow: a panicking default must fire before the resize.
+        let mut m: CompactMap<u64, u32> = CompactMap::new();
+        let cap = m.capacity() as u64;
+        for i in 0..cap {
+            m.insert(i, 0);
+        }
+        let bytes = m.heap_bytes();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            m.get_or_insert_with(cap, || panic!("default exploded"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.heap_bytes(), bytes, "table grew for a failed insert");
+        assert_eq!(m.len(), cap as usize);
+        assert_eq!(m.get(&cap), None);
+    }
+
+    #[test]
+    fn fingerprints_survive_shard_partitioning() {
+        // The fingerprint bits (48–54) must stay uncorrelated with the
+        // shard choice: collect the keys shard 0 of 8 owns and require
+        // their fingerprint bytes to cover most of the 128-value space
+        // (a fingerprint drawn from the route bits would collapse here).
+        use crate::fasthash::{hash_one, route};
+        let mut fps = std::collections::HashSet::new();
+        for i in 0..20_000u64 {
+            if route(&i, 8) == 0 {
+                fps.insert(0x80u8 | (hash_one(&i) >> 48) as u8);
+            }
+        }
+        assert!(
+            fps.len() > 100,
+            "only {} of 128 fingerprints inside one shard",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn iter_yields_every_entry_once() {
+        let mut m: CompactMap<u64, u64> = CompactMap::new();
+        for i in 0..37 {
+            m.insert(i, i + 100);
+        }
+        let mut seen: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 37);
+        for (i, (k, v)) in seen.into_iter().enumerate() {
+            assert_eq!((k, v), (i as u64, i as u64 + 100));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! A dependency-free fast hash for the per-packet hot path.
+//!
+//! Every Full update of the Memento/WCSS lineage is "one O(1) probe into a
+//! cache-resident table" in the literature (Ben-Basat et al., Infocom 2016;
+//! Koutsiamanis & Efraimidis, 2011) — an assumption std's maps break: the
+//! default `RandomState` is SipHash-1-3, a keyed cryptographic-strength
+//! hash costing tens of cycles per probe. Flow keys here are short
+//! (`u64` identifiers, IP pairs, prefixes) and the tables are not exposed
+//! to adversarial key insertion at the map layer (Space Saving *bounds*
+//! the number of monitored keys by construction), so a multiply–rotate
+//! hash in the fxhash family is the right trade: ~2 cycles per 8 bytes,
+//! one multiply per `write_u64`.
+//!
+//! [`FastHasher`] combines words fxhash-style (rotate, xor, multiply by a
+//! golden-ratio-derived odd constant) and finishes with a SplitMix64-style
+//! avalanche so that *every* region of the output is usable — three
+//! disjoint consumers share one hash: the low bits index
+//! [`crate::CompactMap`]'s power-of-two table, bits 48–54 form its
+//! one-byte fingerprints, and the topmost bits pick the shard in
+//! [`route`]. fxhash without the finalizer would leave the low bits of
+//! small integer keys barely mixed.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// The fxhash multiplier: `2^64 / φ`, forced odd.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fast, non-cryptographic streaming hasher (fxhash-style combine,
+/// SplitMix64 finish). Not keyed and not collision-resistant against an
+/// adversary — use only where the key universe or the table population is
+/// bounded by construction (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    /// Creates a hasher with the zero initial state.
+    #[inline]
+    pub fn new() -> Self {
+        FastHasher { state: 0 }
+    }
+
+    /// Folds one 64-bit word into the state (the fxhash step).
+    #[inline]
+    fn combine(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+/// The SplitMix64 output function: full-avalanche mixing of one word, so
+/// every output bit depends on every input bit.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.combine(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.combine(u64::from_le_bytes(word));
+            // Combine the tail length as its own word: a short write and a
+            // full-width write whose bytes spell the same padded word then
+            // differ in combine count, so they cannot collide by mere
+            // padding. (No non-keyed hash is collision-free against
+            // adversarially chosen byte strings — see the module docs for
+            // where that is and is not acceptable.)
+            self.combine(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.combine(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.combine(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.combine(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.combine(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.combine(n as u64);
+        self.combine((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.combine(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.combine(n as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.combine(n as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.combine(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.combine(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.combine(n as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FastHasher`]: stateless (every table hashes the
+/// same key to the same value, across runs and processes — the shard
+/// partition and the fingerprints are deterministic by design).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastBuildHasher;
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::new()
+    }
+}
+
+/// Hashes `key` once with the workspace's fast hash.
+#[inline]
+pub fn hash_one<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut hasher = FastHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The shared shard-routing helper: the shard in `0..shards` owning `key`.
+/// Hashes the key exactly once; deterministic across runs and processes
+/// (both sharded engines route through this, so a key's owner never
+/// depends on which engine asked).
+///
+/// The shard is derived from the **high 32 bits** of the hash (Lemire's
+/// fixed-point range reduction) — deliberately disjoint from the low bits
+/// [`crate::CompactMap`] indexes with. `hash % shards` would make a shard's
+/// key population share their low bits (for power-of-two shard counts,
+/// exactly the bits the per-shard maps index with), clustering every
+/// per-shard table's home slots into 1/N of its buckets and inflating
+/// probe lengths as shard counts grow.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+#[inline]
+pub fn route<K: Hash + ?Sized>(key: &K, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (((hash_one(key) >> 32) * shards as u64) >> 32) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one("flow"), hash_one("flow"));
+        let a = FastBuildHasher.hash_one(7u32);
+        let b = FastBuildHasher.hash_one(7u32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0..100_000u64).map(|i| hash_one(&i)).collect();
+        assert_eq!(
+            hashes.len(),
+            100_000,
+            "sequential u64 keys must not collide"
+        );
+    }
+
+    #[test]
+    fn low_bits_are_mixed_for_small_keys() {
+        // The CompactMap indexes with `hash & (2^b - 1)`: sequential keys
+        // must spread over a small table instead of marching in lockstep.
+        let mask = 255u64;
+        let mut buckets = [0u32; 256];
+        for i in 0..25_600u64 {
+            buckets[(hash_one(&i) & mask) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        // Perfectly uniform would be 100 per bucket; allow generous slack.
+        assert!(
+            min >= 50 && max <= 200,
+            "skewed low bits: min {min} max {max}"
+        );
+    }
+
+    #[test]
+    fn high_bits_are_mixed_for_small_keys() {
+        // route() reduces the top 32 bits; the top byte standing in for
+        // them must avalanche.
+        use std::collections::HashSet;
+        let tops: HashSet<u8> = (0..4_096u64).map(|i| (hash_one(&i) >> 56) as u8).collect();
+        assert!(
+            tops.len() > 200,
+            "top byte barely varies: {} values",
+            tops.len()
+        );
+    }
+
+    #[test]
+    fn fingerprint_bits_are_mixed_for_small_keys() {
+        // The CompactMap fingerprints with bits 48-54.
+        use std::collections::HashSet;
+        let fps: HashSet<u8> = (0..4_096u64)
+            .map(|i| 0x80 | (hash_one(&i) >> 48) as u8)
+            .collect();
+        assert!(
+            fps.len() > 100,
+            "fingerprint bits barely vary: {} values",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_framing_is_unambiguous() {
+        // Same total bytes, different split points, different results for
+        // different contents (the trailing-chunk length fold).
+        let h = |parts: &[&[u8]]| {
+            let mut hasher = FastHasher::new();
+            for p in parts {
+                hasher.write(p);
+            }
+            hasher.finish()
+        };
+        assert_ne!(h(&[b"abc"]), h(&[b"ab"]));
+        assert_ne!(h(&[b"abcdefgh", b"i"]), h(&[b"abcdefgh", b"j"]));
+        // A short tail must not collide with the full-width word that
+        // spells its zero padding (or the old length-fold byte): the tail
+        // length is combined as its own word.
+        assert_ne!(h(&[b"abc"]), h(&[b"abc\0\0\0\0\0"]));
+        assert_ne!(h(&[b"abc"]), h(&[b"abc\0\0\0\0\x03"]));
+        // A no-op write keeps the state (chunked writes of whole words
+        // compose).
+        assert_eq!(h(&[b"abcdefgh", b""]), h(&[b"abcdefgh"]));
+    }
+
+    #[test]
+    fn route_spreads_keys_and_is_stable() {
+        let shards = 4;
+        let mut per_shard = [0u32; 4];
+        for i in 0..10_000u64 {
+            let s = route(&i, shards);
+            assert_eq!(s, route(&i, shards), "routing must be deterministic");
+            per_shard[s] += 1;
+        }
+        for (s, &count) in per_shard.iter().enumerate() {
+            assert!(
+                count > 2_000 && count < 3_000,
+                "shard {s} owns {count} of 10000 keys"
+            );
+        }
+        assert_eq!(route(&123u64, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn route_rejects_zero_shards() {
+        let _ = route(&1u64, 0);
+    }
+
+    #[test]
+    fn routing_leaves_low_index_bits_uncorrelated() {
+        // The keys one shard owns feed that shard's CompactMaps, which
+        // index with the low hash bits: the shard partition (high bits)
+        // must not skew them. Bucket the low byte of every key routed to
+        // shard 0 of 4 and require rough uniformity — under `hash % 4`
+        // routing, 3/4 of these buckets would be empty.
+        let mask = 255u64;
+        let mut buckets = [0u32; 256];
+        let mut routed = 0u32;
+        for i in 0..100_000u64 {
+            if route(&i, 4) == 0 {
+                buckets[(hash_one(&i) & mask) as usize] += 1;
+                routed += 1;
+            }
+        }
+        let occupied = buckets.iter().filter(|&&c| c > 0).count();
+        assert!(
+            occupied > 240,
+            "only {occupied}/256 low-bit buckets used by shard 0's {routed} keys"
+        );
+    }
+}

@@ -15,19 +15,29 @@
 //! * [`TableSampler`] and [`GeometricSampler`] — the two sampling
 //!   implementations the paper compares in §6.2 (random-number table for
 //!   Memento/H-Memento, geometric skips for RHHH).
+//! * [`FastHasher`]/[`FastBuildHasher`] and [`CompactMap`] — the
+//!   cache-resident hot-path layer ([`fasthash`], [`compact_map`]): a
+//!   dependency-free fxhash/SplitMix-style hash and a flat open-addressing
+//!   map with one-byte fingerprints, backing every per-packet lookup
+//!   (the stream-summary key index, Memento's overflow table, the shard
+//!   routers via [`fasthash::route`]).
 //!
 //! [paper]: https://arxiv.org/abs/1810.02899
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact_map;
 pub mod exact;
+pub mod fasthash;
 pub mod overflow_queue;
 pub mod sampling;
 pub mod space_saving;
 pub mod stream_summary;
 
+pub use compact_map::CompactMap;
 pub use exact::{ExactInterval, ExactWindow};
+pub use fasthash::{FastBuildHasher, FastHasher};
 pub use overflow_queue::OverflowQueue;
 pub use sampling::{GeometricSampler, PrefixSampler, Sampler, TableSampler};
 pub use space_saving::{CounterSnapshot, SpaceSaving};

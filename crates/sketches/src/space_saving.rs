@@ -79,10 +79,13 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     }
 
     /// Processes one occurrence of `key` and returns its new estimate.
+    /// One index probe on the monitored-key path (the common case for the
+    /// heavy flows this structure exists to count): `increment`'s `None`
+    /// doubles as the absence check, so no separate `contains` probe.
     pub fn add(&mut self, key: K) -> u64 {
         self.processed += 1;
-        if self.summary.contains(&key) {
-            self.summary.increment(&key).expect("key just checked")
+        if let Some(count) = self.summary.increment(&key) {
+            count
         } else if !self.summary.is_full() {
             self.summary.insert_new(key).expect("summary not full")
         } else {

@@ -7,26 +7,43 @@
 //! increment by one, and an eviction are all O(1).
 //!
 //! The implementation is index-based (no `unsafe`, no pointer juggling):
-//! counter slots live in a `Vec`, bucket nodes live in a `Vec` with a free
-//! list, and links are `usize` indices with `NIL` as the null sentinel.
+//! bucket nodes live in a `Vec` with a free list and links are `usize`
+//! indices with `NIL` as the null sentinel. Counter slots are stored
+//! **structure-of-arrays** for the per-packet hot path: the fields an
+//! increment touches (count, bucket, neighbour links — `SlotHot`) live in
+//! one dense `Vec`, while the key and its error term (`SlotCold`) — read
+//! only on insertion, eviction and queries — live in a parallel `Vec`, so
+//! bucket-list surgery never drags key bytes through the cache. The key →
+//! slot index is a [`CompactMap`] probed with the workspace's fast hash
+//! ([`crate::fasthash`]) rather than a SipHash `HashMap`: one cache-resident
+//! fingerprint probe per operation.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use crate::compact_map::CompactMap;
 
 /// Null sentinel for the intrusive index-based linked lists.
 const NIL: usize = usize::MAX;
 
+/// The per-slot fields an increment touches (the hot array of the SoA
+/// split): current count, owning bucket, and the neighbour links of the
+/// bucket's child list.
 #[derive(Debug, Clone)]
-struct CounterSlot<K> {
-    key: Option<K>,
+struct SlotHot {
     count: u64,
-    /// Value of the slot at the moment the current key was assigned to it
-    /// (the classical Space Saving `error` term). `count - error` is a lower
-    /// bound on the key's true frequency.
-    error: u64,
     bucket: usize,
     prev: usize,
     next: usize,
+}
+
+/// The per-slot fields only insertion/eviction/queries touch (the cold
+/// array): the monitored key and the classical Space Saving `error` term
+/// (the slot's value when the key took it over; `count - error` is a lower
+/// bound on the key's true frequency).
+#[derive(Debug, Clone)]
+struct SlotCold<K> {
+    key: Option<K>,
+    error: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -47,12 +64,15 @@ struct Bucket {
 /// slots are taken).
 #[derive(Debug, Clone)]
 pub struct StreamSummary<K: Eq + Hash + Clone> {
-    slots: Vec<CounterSlot<K>>,
+    /// Hot slot fields (count/bucket/links), parallel to `cold`.
+    hot: Vec<SlotHot>,
+    /// Cold slot fields (key/error), parallel to `hot`.
+    cold: Vec<SlotCold<K>>,
     buckets: Vec<Bucket>,
     free_buckets: Vec<usize>,
     /// Bucket with the smallest count (head of the bucket list), or NIL.
     min_bucket: usize,
-    index: HashMap<K, usize>,
+    index: CompactMap<K, usize>,
     capacity: usize,
 }
 
@@ -64,12 +84,15 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "stream summary capacity must be positive");
         StreamSummary {
-            slots: Vec::with_capacity(capacity),
+            hot: Vec::with_capacity(capacity),
+            cold: Vec::with_capacity(capacity),
             // At most capacity+1 distinct counts can coexist transiently.
             buckets: Vec::with_capacity(capacity + 1),
             free_buckets: Vec::new(),
             min_bucket: NIL,
-            index: HashMap::with_capacity(capacity * 2),
+            // The index can never hold more than `capacity` keys — one per
+            // slot — so size it exactly (a seed-era version reserved 2×).
+            index: CompactMap::with_capacity(capacity),
             capacity,
         }
     }
@@ -105,14 +128,14 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
 
     /// Estimated count for `key` if it is monitored.
     pub fn get(&self, key: &K) -> Option<u64> {
-        self.index.get(key).map(|&slot| self.slots[slot].count)
+        self.index.get(key).map(|&slot| self.hot[slot].count)
     }
 
     /// Estimated count and error term for `key` if it is monitored.
     pub fn get_with_error(&self, key: &K) -> Option<(u64, u64)> {
         self.index
             .get(key)
-            .map(|&slot| (self.slots[slot].count, self.slots[slot].error))
+            .map(|&slot| (self.hot[slot].count, self.cold[slot].error))
     }
 
     /// True when `key` currently holds a counter slot.
@@ -121,7 +144,9 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     }
 
     /// Increments the counter of a monitored `key` by one and returns the new
-    /// count, or `None` when the key is not monitored.
+    /// count, or `None` when the key is not monitored. (One index probe: on
+    /// the hot path callers use the `None` to branch to insertion instead of
+    /// probing `contains` first.)
     pub fn increment(&mut self, key: &K) -> Option<u64> {
         let slot = *self.index.get(key)?;
         Some(self.increment_slot(slot))
@@ -135,14 +160,16 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
         if self.is_full() || self.index.contains_key(&key) {
             return None;
         }
-        let slot = self.slots.len();
-        self.slots.push(CounterSlot {
-            key: Some(key.clone()),
+        let slot = self.hot.len();
+        self.hot.push(SlotHot {
             count: 0,
-            error: 0,
             bucket: NIL,
             prev: NIL,
             next: NIL,
+        });
+        self.cold.push(SlotCold {
+            key: Some(key.clone()),
+            error: 0,
         });
         self.index.insert(key, slot);
         Some(self.increment_slot(slot))
@@ -159,7 +186,7 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
         assert!(self.min_bucket != NIL, "replace_min on an empty summary");
         let slot = self.buckets[self.min_bucket].child;
         debug_assert_ne!(slot, NIL);
-        let old_key = self.slots[slot]
+        let old_key = self.cold[slot]
             .key
             .clone()
             .expect("occupied slot must hold a key");
@@ -168,15 +195,16 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
             "replace_min with an already-monitored key"
         );
         self.index.remove(&old_key);
-        self.slots[slot].error = self.slots[slot].count;
-        self.slots[slot].key = Some(key.clone());
+        self.cold[slot].error = self.hot[slot].count;
+        self.cold[slot].key = Some(key.clone());
         self.index.insert(key, slot);
         (self.increment_slot(slot), old_key)
     }
 
     /// Removes every monitored key, keeping the allocated capacity.
     pub fn clear(&mut self) {
-        self.slots.clear();
+        self.hot.clear();
+        self.cold.clear();
         self.buckets.clear();
         self.free_buckets.clear();
         self.min_bucket = NIL;
@@ -186,9 +214,10 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     /// Iterates over `(key, count, error)` for every monitored key, in
     /// unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64, u64)> {
-        self.slots
+        self.cold
             .iter()
-            .filter_map(|s| s.key.as_ref().map(|k| (k, s.count, s.error)))
+            .zip(&self.hot)
+            .filter_map(|(cold, hot)| cold.key.as_ref().map(|k| (k, hot.count, cold.error)))
     }
 
     // ---- internal plumbing --------------------------------------------------
@@ -233,40 +262,41 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
 
     /// Detaches `slot` from its bucket's child list (does not free the bucket).
     fn detach_slot(&mut self, slot: usize) {
-        let bucket = self.slots[slot].bucket;
-        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        let bucket = self.hot[slot].bucket;
+        let (prev, next) = (self.hot[slot].prev, self.hot[slot].next);
         if prev != NIL {
-            self.slots[prev].next = next;
+            self.hot[prev].next = next;
         } else if bucket != NIL {
             self.buckets[bucket].child = next;
         }
         if next != NIL {
-            self.slots[next].prev = prev;
+            self.hot[next].prev = prev;
         }
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = NIL;
-        self.slots[slot].bucket = NIL;
+        self.hot[slot].prev = NIL;
+        self.hot[slot].next = NIL;
+        self.hot[slot].bucket = NIL;
     }
 
     /// Attaches `slot` at the head of `bucket`'s child list.
     fn attach_slot(&mut self, slot: usize, bucket: usize) {
         let head = self.buckets[bucket].child;
-        self.slots[slot].bucket = bucket;
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = head;
+        self.hot[slot].bucket = bucket;
+        self.hot[slot].prev = NIL;
+        self.hot[slot].next = head;
         if head != NIL {
-            self.slots[head].prev = slot;
+            self.hot[head].prev = slot;
         }
         self.buckets[bucket].child = slot;
     }
 
     /// Moves `slot` from its current bucket to the bucket for `count + 1`,
     /// creating the destination bucket if needed. O(1) because counts only
-    /// ever grow by one.
+    /// ever grow by one. Touches only the hot array and the bucket nodes —
+    /// never the keys.
     fn increment_slot(&mut self, slot: usize) -> u64 {
-        let old_bucket = self.slots[slot].bucket;
-        let new_count = self.slots[slot].count + 1;
-        self.slots[slot].count = new_count;
+        let old_bucket = self.hot[slot].bucket;
+        let new_count = self.hot[slot].count + 1;
+        self.hot[slot].count = new_count;
 
         // Locate the destination bucket: it is either the bucket right after
         // the current one (if its count matches) or a freshly created bucket
@@ -314,13 +344,15 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     /// Debug helper: checks every structural invariant. Used by tests.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
+        // The arrays of the SoA split stay parallel.
+        assert_eq!(self.hot.len(), self.cold.len());
         // Index consistency.
-        for (key, &slot) in &self.index {
-            assert!(self.slots[slot].key.as_ref() == Some(key));
+        for (key, &slot) in self.index.iter() {
+            assert!(self.cold[slot].key.as_ref() == Some(key));
         }
         assert_eq!(
             self.index.len(),
-            self.slots.iter().filter(|s| s.key.is_some()).count()
+            self.cold.iter().filter(|s| s.key.is_some()).count()
         );
         // Bucket list is strictly increasing and every child belongs to it.
         let mut seen_slots = 0usize;
@@ -337,7 +369,7 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
             let mut s = bucket.child;
             let mut prev = NIL;
             while s != NIL {
-                let slot = &self.slots[s];
+                let slot = &self.hot[s];
                 assert_eq!(slot.bucket, b);
                 assert_eq!(slot.prev, prev);
                 assert_eq!(slot.count, bucket.count);

@@ -15,6 +15,16 @@
 //! * **space_saving_add** — the Full update's dominant component alone,
 //!   comparable with `substrate_ops`' historical numbers.
 //!
+//! PR 6 adds the rows the SWAR word scan is aimed at:
+//!
+//! * **map_probe_compact_map_byte_scan** — the same probe workload
+//!   through the retired byte-at-a-time `probe_reference`, isolating
+//!   what the SWAR rewrite buys on its own;
+//! * **delete-heavy churn** (`churn = 4`) — the regime PR 5's honesty
+//!   note conceded ~5–10% to hashbrown: every fourth op a removal, so
+//!   backward-shift deletion and the subsequent re-probes dominate.
+//!   The SWAR scan walks those displaced clusters a word at a time.
+//!
 //! Recorded before/after numbers live in `crates/bench/EXPERIMENTS.md`.
 
 use std::collections::HashMap;
@@ -87,6 +97,43 @@ fn map_probe_compact(population: &[u64], keys: &[u64]) -> u64 {
     misses
 }
 
+/// The probe workload through the retired byte-at-a-time scan
+/// (`probe_reference`), kept `#[doc(hidden)]` exactly so this row can
+/// price the SWAR rewrite in isolation: same table, same keys, same
+/// entries touch on a hit — only the fingerprint scan differs from the
+/// `word_scan` row below.
+fn map_probe_compact_byte_scan(population: &[u64], keys: &[u64]) -> u64 {
+    let mut map: CompactMap<u64, u32> = CompactMap::with_capacity(MONITORED);
+    for &key in population {
+        map.insert(key, 0);
+    }
+    let mut acc = 0u64;
+    for &key in keys {
+        match map.probe_reference(&key) {
+            Ok(slot) => acc += map.slot_value(slot).copied().unwrap_or(0) as u64,
+            Err(_) => acc += 1,
+        }
+    }
+    acc
+}
+
+/// The identical workload through the SWAR word scan — the direct
+/// denominator for `map_probe_compact_map_byte_scan`.
+fn map_probe_compact_word_scan(population: &[u64], keys: &[u64]) -> u64 {
+    let mut map: CompactMap<u64, u32> = CompactMap::with_capacity(MONITORED);
+    for &key in population {
+        map.insert(key, 0);
+    }
+    let mut acc = 0u64;
+    for &key in keys {
+        match map.probe(&key) {
+            Ok(slot) => acc += map.slot_value(slot).copied().unwrap_or(0) as u64,
+            Err(_) => acc += 1,
+        }
+    }
+    acc
+}
+
 /// The overflow-table access pattern: increment a counter per key; every
 /// `churn`-th op removes the key instead (the insert/retire cycle `B`
 /// lives under — this is what backward-shift deletion has to survive).
@@ -146,11 +193,23 @@ fn bench_hot_path(c: &mut Criterion) {
     group.bench_function("map_probe_compact_map", |b| {
         b.iter(|| map_probe_compact(&population, &keys))
     });
+    group.bench_function("map_probe_compact_map_byte_scan", |b| {
+        b.iter(|| map_probe_compact_byte_scan(&population, &keys))
+    });
+    group.bench_function("map_probe_compact_map_word_scan", |b| {
+        b.iter(|| map_probe_compact_word_scan(&population, &keys))
+    });
     group.bench_function("map_churn_std_hashmap", |b| {
         b.iter(|| map_churn_std(&keys, 16))
     });
     group.bench_function("map_churn_compact_map", |b| {
         b.iter(|| map_churn_compact(&keys, 16))
+    });
+    group.bench_function("map_churn_std_hashmap_delete_heavy", |b| {
+        b.iter(|| map_churn_std(&keys, 4))
+    });
+    group.bench_function("map_churn_compact_map_delete_heavy", |b| {
+        b.iter(|| map_churn_compact(&keys, 4))
     });
 
     // -- the Full update's dominant component -------------------------------

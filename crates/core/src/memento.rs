@@ -31,9 +31,53 @@
 
 use std::hash::Hash;
 
+use memento_sketches::fasthash::{hash_one, PREFETCH_LOOKAHEAD};
 use memento_sketches::{CompactMap, OverflowQueue, Sampler, SpaceSaving, TableSampler};
 
 use crate::config::MementoConfig;
+
+/// Branch-free exact-divisibility test by a fixed divisor
+/// (Granlund–Montgomery, *Hacker's Delight* §10-17): for `d = odd · 2^k`,
+/// `n % d == 0` iff `(n · odd⁻¹ mod 2⁶⁴) >>rot k ≤ ⌊(2⁶⁴−1)/d⌋`. One
+/// multiply and a rotate per test, against the 20–40 cycle hardware
+/// divide `is_multiple_of` costs for a runtime divisor — this sits on the
+/// per-packet path twice (block boundaries, overflow thresholds).
+#[derive(Debug, Clone, Copy)]
+struct MultipleCheck {
+    /// Multiplicative inverse of the divisor's odd part, mod 2⁶⁴.
+    odd_inv: u64,
+    /// The divisor's power-of-two part, as a rotate count.
+    shift: u32,
+    /// `⌊(2⁶⁴ − 1) / d⌋`: the number of multiples of `d` below 2⁶⁴.
+    limit: u64,
+}
+
+impl MultipleCheck {
+    /// Precomputes the test for divisor `d > 0`.
+    fn new(d: u64) -> Self {
+        assert!(d > 0, "divisor must be positive");
+        let shift = d.trailing_zeros();
+        let odd = d >> shift;
+        // Newton–Raphson inverse mod 2⁶⁴: `x₀ = odd` is correct to 3 bits
+        // (odd² ≡ 1 mod 8), each step doubles the valid bits — 5 steps
+        // reach 96 ≥ 64.
+        let mut odd_inv = odd;
+        for _ in 0..5 {
+            odd_inv = odd_inv.wrapping_mul(2u64.wrapping_sub(odd.wrapping_mul(odd_inv)));
+        }
+        MultipleCheck {
+            odd_inv,
+            shift,
+            limit: u64::MAX / d,
+        }
+    }
+
+    /// True iff `n` is a multiple of the divisor.
+    #[inline(always)]
+    fn divides(&self, n: u64) -> bool {
+        n.wrapping_mul(self.odd_inv).rotate_right(self.shift) <= self.limit
+    }
+}
 
 /// The Memento sliding-window heavy-hitters algorithm.
 ///
@@ -75,12 +119,24 @@ pub struct Memento<K: Eq + Hash + Clone> {
     overflow_counts: CompactMap<K, u32>,
     /// Position inside the current frame (the paper's `M`).
     m: usize,
+    /// `m % block_size`, maintained incrementally so the per-packet
+    /// block-boundary test is a compare instead of a hardware divide
+    /// (the bulk advances recompute it once per call).
+    m_in_block: usize,
+    /// Strength-reduced divisibility test for `overflow_threshold`,
+    /// replacing the Full update's per-packet `%` with a multiply.
+    overflow_check: MultipleCheck,
     /// τ-sampler (random-number table).
     sampler: TableSampler,
     /// Leftover geometric skip carried between [`Self::update_batch`] calls:
     /// number of packets that must still receive Window updates before the
     /// next Full update. `None` until the batch path first draws a skip.
     batch_skip: Option<u64>,
+    /// Reused scratch for the batch pipeline: the in-batch indices of the
+    /// τ-sampled keys, computed by the skip-drawing pass so the replay pass
+    /// can prefetch ahead. Kept on the struct to amortize the allocation
+    /// across batches; always logically empty between calls.
+    batch_sampled: Vec<usize>,
     /// Total packets processed (full + window updates).
     processed: u64,
     /// Number of Full updates performed (for diagnostics/tests).
@@ -127,11 +183,12 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         config.validate().expect("invalid Memento configuration");
         let block_size = config.block_size();
         let blocks = config.window.div_ceil(block_size);
+        let overflow_threshold = Self::threshold_for(config.tau, config.window, config.counters);
         Memento {
             window: config.window,
             counters: config.counters,
             block_size,
-            overflow_threshold: Self::threshold_for(config.tau, config.window, config.counters),
+            overflow_threshold,
             tau: config.tau,
             full_update_rate: config.tau,
             scale: 1.0 / config.tau,
@@ -139,8 +196,11 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             b: OverflowQueue::new(blocks),
             overflow_counts: CompactMap::new(),
             m: 0,
+            m_in_block: 0,
+            overflow_check: MultipleCheck::new(overflow_threshold),
             sampler: TableSampler::with_seed(config.tau, config.seed),
             batch_skip: None,
+            batch_sampled: Vec::new(),
             processed: 0,
             full_updates: 0,
         }
@@ -174,6 +234,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         self.full_update_rate = full_update_rate;
         self.scale = scale;
         self.overflow_threshold = Self::threshold_for(full_update_rate, self.window, self.counters);
+        self.overflow_check = MultipleCheck::new(self.overflow_threshold);
     }
 
     // ---- accessors ----------------------------------------------------------
@@ -255,14 +316,20 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     pub fn window_update(&mut self) {
         self.processed += 1;
         self.m += 1;
+        self.m_in_block += 1;
         if self.m == self.window {
             self.m = 0;
         }
         if self.m == 0 {
-            // New frame: the in-frame counts restart.
+            // New frame: the in-frame counts restart. A frame wrap is
+            // always a block boundary (position 0), even when `W` is not
+            // a multiple of the block size.
+            self.m_in_block = 0;
             self.y.flush();
+        } else if self.m_in_block == self.block_size {
+            self.m_in_block = 0;
         }
-        if self.m.is_multiple_of(self.block_size) {
+        if self.m_in_block == 0 {
             // New block: the oldest block no longer overlaps the window.
             // Thanks to the per-packet draining below the dropped queue is
             // normally empty; retire any stragglers to keep B exact.
@@ -281,10 +348,20 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     /// update plus the actual insertion of the packet into the summary.
     #[inline]
     pub fn full_update(&mut self, key: K) {
+        self.full_update_hashed(key, None);
+    }
+
+    /// [`Self::full_update`] with an optionally precomputed
+    /// [`memento_sketches::fasthash::hash_one`] value for `key`: the
+    /// batched pipelines hash each key once when issuing its prefetch and
+    /// pass the value here, so the summary's monitored-key probe (the
+    /// common case) does not hash again.
+    #[inline]
+    fn full_update_hashed(&mut self, key: K, hash: Option<u64>) {
         self.window_update();
         self.full_updates += 1;
-        let count = self.y.add(key.clone());
-        if count.is_multiple_of(self.overflow_threshold) {
+        let count = self.y.add_hashed(key.clone(), hash);
+        if self.overflow_check.divides(count) {
             // The flow's sampled count crossed a block's worth of Full
             // updates: record an overflow.
             self.b.push_current(key.clone());
@@ -307,7 +384,88 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     ///
     /// A partially consumed skip is carried across calls, so splitting a
     /// stream into arbitrary batches does not bias the sampling rate.
+    ///
+    /// The batch is processed in two passes so the probe misses overlap:
+    /// the first pass draws the geometric skips (in exactly the order and
+    /// count the interleaved reference loop would — the draws depend only
+    /// on the sampler state, never on the keys or the summary, so hoisting
+    /// them preserves the RNG stream bit-for-bit) and records which batch
+    /// indices receive Full updates; the second pass replays the window
+    /// advances and Full updates in stream order while software-prefetching
+    /// the in-frame summary's index lines for the sampled key a
+    /// [`PREFETCH_LOOKAHEAD`] ahead (see [`memento_sketches::fasthash::prefetch`]).
+    /// The seed's interleaved loop survives as
+    /// `update_batch_reference` for the differential property tests.
     pub fn update_batch(&mut self, keys: &[K]) {
+        if self.tau >= 1.0 {
+            // Every packet is a Full update: pipeline directly over the
+            // input. Each key is hashed once — when its prefetch is
+            // issued, PREFETCH_LOOKAHEAD slots early — and the hash rides
+            // the ring buffer to the key's own probe.
+            let mut hashes = [0u64; PREFETCH_LOOKAHEAD];
+            for (j, key) in keys.iter().take(PREFETCH_LOOKAHEAD).enumerate() {
+                hashes[j] = hash_one(key);
+            }
+            for (i, key) in keys.iter().enumerate() {
+                let slot = i % PREFETCH_LOOKAHEAD;
+                let hash = hashes[slot];
+                if let Some(ahead) = keys.get(i + PREFETCH_LOOKAHEAD) {
+                    let h = hash_one(ahead);
+                    self.y.prefetch_hashed(h);
+                    hashes[slot] = h;
+                }
+                self.full_update_hashed(key.clone(), Some(hash));
+            }
+            return;
+        }
+        let mut sampled = std::mem::take(&mut self.batch_sampled);
+        sampled.clear();
+        let ln_keep = (1.0 - self.tau).ln();
+        let mut skip = match self.batch_skip.take() {
+            Some(s) => s,
+            None => self.draw_skip(ln_keep),
+        };
+        let mut i = 0usize;
+        while i < keys.len() {
+            let remaining = (keys.len() - i) as u64;
+            if skip >= remaining {
+                // No Full update lands in the rest of this batch.
+                skip -= remaining;
+                break;
+            }
+            let idx = i + skip as usize;
+            sampled.push(idx);
+            i = idx + 1;
+            skip = self.draw_skip(ln_keep);
+        }
+        self.batch_skip = Some(skip);
+        let mut hashes = [0u64; PREFETCH_LOOKAHEAD];
+        for (j, &idx) in sampled.iter().take(PREFETCH_LOOKAHEAD).enumerate() {
+            hashes[j] = hash_one(&keys[idx]);
+        }
+        let mut pos = 0usize;
+        for (s, &idx) in sampled.iter().enumerate() {
+            let slot = s % PREFETCH_LOOKAHEAD;
+            let hash = hashes[slot];
+            if let Some(&ahead) = sampled.get(s + PREFETCH_LOOKAHEAD) {
+                let h = hash_one(&keys[ahead]);
+                self.y.prefetch_hashed(h);
+                hashes[slot] = h;
+            }
+            self.advance_window(idx - pos);
+            self.full_update_hashed(keys[idx].clone(), Some(hash));
+            pos = idx + 1;
+        }
+        self.advance_window(keys.len() - pos);
+        self.batch_sampled = sampled;
+    }
+
+    /// Bit-for-bit reference for [`Self::update_batch`]: the seed's
+    /// interleaved draw-skip/advance/Full-update loop, without the
+    /// two-pass prefetch pipeline. Kept for the differential property
+    /// tests; not part of the supported API.
+    #[doc(hidden)]
+    pub fn update_batch_reference(&mut self, keys: &[K]) {
         if self.tau >= 1.0 {
             for key in keys {
                 self.full_update(key.clone());
@@ -346,7 +504,83 @@ impl<K: Eq + Hash + Clone> Memento<K> {
     /// (gaps plus unsampled own packets) accumulate and are advanced in
     /// bulk right before each Full update, so the per-key constant work
     /// stays at the batch path's level.
+    ///
+    /// Like [`Self::update_batch`], the work is split into a skip-drawing
+    /// pass (identical RNG stream) and a replay pass that prefetches the
+    /// sampled keys a [`PREFETCH_LOOKAHEAD`] ahead of their probes; the
+    /// seed's interleaved loop survives as
+    /// `update_batch_positioned_reference` for the differential tests.
     pub fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
+        if self.tau >= 1.0 {
+            let mut hashes = [0u64; PREFETCH_LOOKAHEAD];
+            for (j, key) in keys.iter().take(PREFETCH_LOOKAHEAD).enumerate() {
+                hashes[j] = hash_one(key);
+            }
+            for (i, (gap, key)) in gaps.iter().zip(keys).enumerate() {
+                let slot = i % PREFETCH_LOOKAHEAD;
+                let hash = hashes[slot];
+                if let Some(ahead) = keys.get(i + PREFETCH_LOOKAHEAD) {
+                    let h = hash_one(ahead);
+                    self.y.prefetch_hashed(h);
+                    hashes[slot] = h;
+                }
+                self.skip(*gap);
+                self.full_update_hashed(key.clone(), Some(hash));
+            }
+            return;
+        }
+        let mut sampled = std::mem::take(&mut self.batch_sampled);
+        sampled.clear();
+        let ln_keep = (1.0 - self.tau).ln();
+        let mut skip = match self.batch_skip.take() {
+            Some(s) => s,
+            None => self.draw_skip(ln_keep),
+        };
+        for i in 0..keys.len() {
+            if skip == 0 {
+                sampled.push(i);
+                skip = self.draw_skip(ln_keep);
+            } else {
+                skip -= 1;
+            }
+        }
+        self.batch_skip = Some(skip);
+        // Window positions owed before the next Full update: foreign gaps
+        // plus own packets the sampler passed over.
+        let mut pending: u64 = 0;
+        let mut next = 0usize;
+        let mut hashes = [0u64; PREFETCH_LOOKAHEAD];
+        for (j, &idx) in sampled.iter().take(PREFETCH_LOOKAHEAD).enumerate() {
+            hashes[j] = hash_one(&keys[idx]);
+        }
+        for (i, (gap, key)) in gaps.iter().zip(keys).enumerate() {
+            pending += gap;
+            if sampled.get(next) == Some(&i) {
+                let slot = next % PREFETCH_LOOKAHEAD;
+                let hash = hashes[slot];
+                if let Some(&ahead) = sampled.get(next + PREFETCH_LOOKAHEAD) {
+                    let h = hash_one(&keys[ahead]);
+                    self.y.prefetch_hashed(h);
+                    hashes[slot] = h;
+                }
+                self.skip(pending);
+                pending = 0;
+                self.full_update_hashed(key.clone(), Some(hash));
+                next += 1;
+            } else {
+                pending += 1;
+            }
+        }
+        self.skip(pending);
+        self.batch_sampled = sampled;
+    }
+
+    /// Bit-for-bit reference for [`Self::update_batch_positioned`]: the
+    /// seed's fused single-pass loop. Kept for the differential property
+    /// tests; not part of the supported API.
+    #[doc(hidden)]
+    pub fn update_batch_positioned_reference(&mut self, gaps: &[u64], keys: &[K]) {
         assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
         if self.tau >= 1.0 {
             for (gap, key) in gaps.iter().zip(keys) {
@@ -464,6 +698,9 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         let rotations = self.rotations_within(n);
         let crossed_frame = n >= self.window - self.m;
         self.m = (((self.m as u128) + (n as u128)) % (self.window as u128)) as usize;
+        // One divide per bulk advance restores the invariant the
+        // per-packet path maintains incrementally.
+        self.m_in_block = self.m % self.block_size;
         if crossed_frame {
             self.y.flush();
         }
@@ -533,6 +770,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             if left < to_event {
                 // Ends inside a block: no boundary fires, only the drain.
                 self.m += left;
+                self.m_in_block = self.m % self.block_size;
                 self.drain_expired(left);
                 return;
             }
@@ -551,6 +789,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             }
             self.drain_expired(1);
         }
+        self.m_in_block = self.m % self.block_size;
     }
 
     /// De-amortized retirement of expired overflows: up to `budget` pops
@@ -678,6 +917,29 @@ mod tests {
     use super::*;
     use memento_sketches::ExactWindow;
     use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// The strength-reduced divisibility test must agree with `%` for
+    /// every divisor shape (odd, power of two, mixed) across edge values.
+    #[test]
+    fn multiple_check_agrees_with_modulo() {
+        let divisors = [
+            1u64, 2, 3, 4, 5, 6, 7, 8, 12, 13, 100, 127, 128, 1000, 4096, 12_288, 999_983,
+        ];
+        for &d in &divisors {
+            let check = MultipleCheck::new(d);
+            for n in 0..4 * d.min(10_000) {
+                assert_eq!(check.divides(n), n % d == 0, "d={d} n={n}");
+            }
+            for &n in &[
+                u64::MAX,
+                u64::MAX - 1,
+                u64::MAX / d * d,
+                d.wrapping_mul(1 << 40),
+            ] {
+                assert_eq!(check.divides(n), n % d == 0, "d={d} n={n}");
+            }
+        }
+    }
 
     /// With τ = 1 (WCSS mode) the estimate must stay within ε·W = 4W/k of the
     /// exact window frequency (and never undershoot, the error is one-sided).

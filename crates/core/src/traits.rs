@@ -352,6 +352,14 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
         self.add(key);
     }
 
+    /// The prefetch-pipelined batch path ([`SpaceSaving::add_batch`]):
+    /// exactly equivalent to per-key `add`, with the index misses of the
+    /// batch overlapped.
+    #[inline]
+    fn update_batch(&mut self, keys: &[K]) {
+        self.add_batch(keys);
+    }
+
     /// No-op: an interval summary counts everything since its last flush
     /// and has no sliding window to advance — packets observed elsewhere
     /// are simply outside its interval.

@@ -1,0 +1,106 @@
+//! Differential property tests for the PR 6 batched-prefetch pipeline.
+//!
+//! The pipelined [`Memento::update_batch`] / `update_batch_positioned`
+//! hoist all geometric-skip draws into a first pass (so the surviving
+//! keys can be hashed and prefetched ahead of the probes) and replay the
+//! window advances and Full updates in stream order in a second pass.
+//! Because the skip sampler never reads keys or summary state, and the
+//! summary never reads the sampler, the two-pass form must be
+//! **bit-for-bit** identical to the seed-era per-key loop — same RNG
+//! stream, same advances, same Full updates, same estimates.
+//!
+//! These tests pin that equivalence on arbitrary streams: random key
+//! mixes, random chunk sizes (so batches straddle block and frame
+//! boundaries), every τ regime (WCSS τ = 1, moderate and aggressive
+//! sampling), and — for the positioned path — random inter-arrival gaps.
+
+use memento_core::{Memento, SlidingWindowEstimator, Wcss};
+use proptest::prelude::*;
+
+/// The τ regimes under test: WCSS mode, moderate and aggressive sampling.
+const TAUS: [f64; 3] = [1.0, 0.25, 1.0 / 16.0];
+
+/// Assert that two Mementos are observationally identical, bit for bit.
+fn assert_same_state(pipelined: &Memento<u64>, reference: &Memento<u64>, keyspace: u64) {
+    assert_eq!(pipelined.processed(), reference.processed(), "processed");
+    assert_eq!(
+        pipelined.full_updates(),
+        reference.full_updates(),
+        "full_updates"
+    );
+    assert_eq!(
+        pipelined.tracked_overflows(),
+        reference.tracked_overflows(),
+        "tracked_overflows"
+    );
+    for key in 0..keyspace {
+        assert_eq!(
+            pipelined.estimate(&key).to_bits(),
+            reference.estimate(&key).to_bits(),
+            "estimates diverge for key {key}"
+        );
+    }
+}
+
+proptest! {
+    /// Pipelined `update_batch` ≡ the seed per-key loop
+    /// (`update_batch_reference`), bit for bit, in every τ regime.
+    #[test]
+    fn pipelined_batch_equals_reference(
+        keys in prop::collection::vec(0u64..48, 0..1500),
+        chunk in 1usize..400,
+        tau_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let tau = TAUS[tau_idx];
+        let mut pipelined = Memento::new(24, 900, tau, seed.wrapping_add(1));
+        let mut reference = Memento::new(24, 900, tau, seed.wrapping_add(1));
+        for part in keys.chunks(chunk) {
+            pipelined.update_batch(part);
+            reference.update_batch_reference(part);
+        }
+        assert_same_state(&pipelined, &reference, 48);
+    }
+
+    /// Pipelined `update_batch_positioned` ≡ the seed fused gap+key loop
+    /// (`update_batch_positioned_reference`), bit for bit, with random
+    /// inter-arrival gaps straddling block and frame boundaries.
+    #[test]
+    fn pipelined_positioned_batch_equals_reference(
+        stream in prop::collection::vec((0u64..9, 0u64..48), 0..1200),
+        chunk in 1usize..300,
+        tau_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let tau = TAUS[tau_idx];
+        let mut pipelined = Memento::new(24, 900, tau, seed.wrapping_add(1));
+        let mut reference = Memento::new(24, 900, tau, seed.wrapping_add(1));
+        let gaps: Vec<u64> = stream.iter().map(|&(g, _)| g).collect();
+        let keys: Vec<u64> = stream.iter().map(|&(_, k)| k).collect();
+        for start in (0..stream.len()).step_by(chunk) {
+            let end = (start + chunk).min(stream.len());
+            pipelined.update_batch_positioned(&gaps[start..end], &keys[start..end]);
+            reference.update_batch_positioned_reference(&gaps[start..end], &keys[start..end]);
+        }
+        assert_same_state(&pipelined, &reference, 48);
+    }
+
+    /// WCSS rides the same τ = 1 pipeline: its batched updates must match
+    /// the seed per-packet loop exactly (every packet is a Full update,
+    /// so this exercises pure prefetch-lookahead reordering).
+    #[test]
+    fn wcss_pipelined_batch_equals_per_packet(
+        keys in prop::collection::vec(0u64..48, 0..1500),
+        chunk in 1usize..400,
+    ) {
+        let mut batched = Wcss::new(24, 900);
+        let mut per_packet = Wcss::new(24, 900);
+        for part in keys.chunks(chunk) {
+            batched.update_batch(part);
+        }
+        for &key in &keys {
+            per_packet.update(key);
+        }
+        assert_same_state(batched.as_memento(), per_packet.as_memento(), 48);
+    }
+}

@@ -242,12 +242,24 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
     /// disjoint key sets and the gap stamps carry the exact cross-shard
     /// positions). Keys beyond the last full message stay buffered until
     /// the next update or query.
+    ///
+    /// Routes are computed tile-wise: a straight-line pass hashes a fixed
+    /// tile of keys into a stack array before the branchy push/ship loop
+    /// consumes them, so the hashing pipelines ahead of the buffer
+    /// bookkeeping instead of serializing with it. Push order — and with
+    /// it every gap stamp — is exactly that of the per-key loop.
     fn update_batch(&mut self, keys: &[K]) {
+        const TILE: usize = 64;
         let mut state = self.state.lock().expect("router state poisoned");
-        for key in keys {
-            let shard = self.shard_of(key);
-            if state.push(shard, key.clone(), self.flush_threshold) >= self.flush_threshold {
-                self.ship_shard(&mut state, shard);
+        let mut routes = [0usize; TILE];
+        for tile in keys.chunks(TILE) {
+            for (route, key) in routes.iter_mut().zip(tile) {
+                *route = self.shard_of(key);
+            }
+            for (key, &shard) in tile.iter().zip(&routes) {
+                if state.push(shard, key.clone(), self.flush_threshold) >= self.flush_threshold {
+                    self.ship_shard(&mut state, shard);
+                }
             }
         }
     }

@@ -212,12 +212,23 @@ where
         }
     }
 
+    /// Tile-wise routing, as in
+    /// `ShardedEstimator::update_batch`: a straight-line pass
+    /// hashes a fixed tile of items into a stack array before the branchy
+    /// push/ship loop consumes them, preserving push order (and every gap
+    /// stamp) exactly.
     fn update_batch(&mut self, items: &[Hi::Item]) {
+        const TILE: usize = 64;
         let mut state = self.state.lock().expect("router state poisoned");
-        for &item in items {
-            let shard = self.shard_of(&item);
-            if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
-                self.ship_shard(&mut state, shard);
+        let mut routes = [0usize; TILE];
+        for tile in items.chunks(TILE) {
+            for (route, item) in routes.iter_mut().zip(tile) {
+                *route = self.shard_of(item);
+            }
+            for (&item, &shard) in tile.iter().zip(&routes) {
+                if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
+                    self.ship_shard(&mut state, shard);
+                }
             }
         }
     }

@@ -9,8 +9,19 @@
 //!   7-bit *fingerprint* of its key's hash live in a dense `Vec<u8>`, so
 //!   a probe sequence walks one cache line of control bytes (64 slots)
 //!   before it ever touches a key — the SoA idea of SwissTable/hashbrown,
-//!   minus the SIMD and the `unsafe` (the crate forbids unsafe code, so
-//!   entries are `Option<(K, V)>` rather than `MaybeUninit`).
+//!   with the group-wide comparison done SWAR-style (SIMD within a
+//!   register, see below) instead of with SIMD intrinsics, and without the
+//!   `unsafe` (entries are `Option<(K, V)>` rather than `MaybeUninit`).
+//! * **SWAR word scans**: the probe loop inspects control bytes eight at a
+//!   time as one little-endian `u64` — broadcast the fingerprint into all
+//!   eight lanes, XOR, and apply the zero-byte trick
+//!   `(x - 0x01…) & !x & 0x80…` to flag matching lanes; empty lanes are
+//!   `!word & 0x80…` exactly, because fingerprints always carry the top
+//!   bit and the empty control byte never does. `trailing_zeros` turns a flag into a
+//!   slot index. The same word loop backs `get`/`insert`/`remove` (via
+//!   [`CompactMap::probe`]) and the backward-shift cluster walk (via the
+//!   first-empty scan); the byte-at-a-time loop survives as
+//!   `probe_reference` for the differential property tests.
 //! * **Power-of-two capacity, linear probing**: the bucket index is
 //!   `hash & mask` (no integer division) and the probe step is +1, the
 //!   friendliest pattern for the prefetcher. The fast hash
@@ -30,13 +41,45 @@ use std::hash::Hash;
 
 use crate::fasthash::hash_one;
 
-/// Minimum number of slots (keeps the mask arithmetic trivial and small
-/// maps allocation-cheap).
+/// Minimum number of slots. Also the SWAR word width: the table is never
+/// smaller than one control word, so `ctrl.len()` is always a multiple of
+/// [`WORD`] and the word loads below never straddle the end of the array.
 const MIN_SLOTS: usize = 8;
 
 /// Control byte for an empty slot. Fingerprints always have the top bit
 /// set, so 0 is unambiguous.
 const EMPTY: u8 = 0;
+
+/// Control bytes per SWAR word.
+const WORD: usize = 8;
+
+/// Every byte's low bit: the subtrahend of the zero-byte trick and the
+/// fingerprint-broadcast multiplier.
+const LSB: u64 = 0x0101_0101_0101_0101;
+
+/// Every byte's top bit: where the zero-byte trick and the empty-lane test
+/// leave their flags.
+const MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Probe-shape statistics of a live [`CompactMap`], from
+/// [`CompactMap::probe_stats`]. "Probe length" is the number of slots a
+/// successful lookup of the key inspects, home slot and hit included
+/// (a key sitting in its home slot has probe length 1); "words" counts the
+/// control words the SWAR scan loads for that same lookup (a whole
+/// home-slot-resident table costs exactly one word load per probe).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeStats {
+    /// Number of keys the statistics cover (the map's `len`).
+    pub keys: usize,
+    /// Mean probe length over all keys (0.0 for an empty map).
+    pub mean_probe_len: f64,
+    /// Longest probe sequence of any key.
+    pub max_probe_len: usize,
+    /// Mean control-word loads per probe (0.0 for an empty map).
+    pub mean_words_per_probe: f64,
+    /// Most control-word loads any single probe performs.
+    pub max_words_per_probe: usize,
+}
 
 /// A flat, power-of-two, linear-probing hash map with a separate one-byte
 /// fingerprint array and backward-shift deletion. See the module docs for
@@ -122,14 +165,132 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
         ((hash as usize) & self.mask, 0x80 | (hash >> 48) as u8)
     }
 
+    /// The eight control bytes of word `w`, little-endian: the byte for
+    /// slot `w*8 + i` sits in bits `8i..8i+8`, so `trailing_zeros / 8`
+    /// recovers the lowest flagged slot. `ctrl.len()` is a multiple of
+    /// [`WORD`] by construction, so the slice never straddles the end.
+    #[inline]
+    fn ctrl_word(&self, w: usize) -> u64 {
+        u64::from_le_bytes(
+            self.ctrl[w * WORD..(w + 1) * WORD]
+                .try_into()
+                .expect("ctrl length is a multiple of the word size"),
+        )
+    }
+
     /// Walks `key`'s probe sequence once: `Ok(slot)` when the key is
     /// present, otherwise `Err((empty_slot, fingerprint))` — the
     /// terminating empty slot, which is exactly where a no-resize insert
     /// must place the key (so miss-then-insert pays one walk, not two).
     /// The table is never full (load is capped at 7/8), so the probe
     /// always terminates.
+    ///
+    /// This is a two-tier scan. Tier 1 walks the home *word* (at most 8
+    /// slots) byte-at-a-time: at the 7/8 load cap and below, the
+    /// overwhelming majority of probes resolve within a few slots of
+    /// home, where a predicted 1–2-iteration byte loop beats any
+    /// wide-lane setup (measured: the SWAR-only variant lost ~35% on the
+    /// lookup-dominated bench). Probes that exhaust the home word —
+    /// long displaced clusters, the regime backward-shift churn and high
+    /// load produce — continue word-aligned in the tier-2 SWAR loop
+    /// ([`Self::probe_spill`]): one
+    /// `u64` load covers eight control bytes, so cluster traversal is
+    /// ~8× fewer iterations. Fingerprint candidates come from the
+    /// zero-byte trick on `word ^ broadcast` — exact at the lowest
+    /// flagged lane, possible false positives above it (borrow
+    /// propagation), all rejected by the key comparison — while empty
+    /// lanes are detected *exactly* as `!word & MSB` (only [`EMPTY`]
+    /// lacks the top bit). Candidates in a word are key-checked before
+    /// its empty lanes are consulted; that is safe even for a candidate
+    /// past the first empty, because a key is always reachable through
+    /// its own probe sequence (backward-shift deletion maintains this),
+    /// so a slot beyond `key`'s terminating empty cannot hold `key`. If
+    /// the probe wraps the whole table, the home word is re-scanned with
+    /// all lanes live, where re-checking the already-rejected pre-home
+    /// lanes is harmless.
+    ///
+    /// Exposed `#[doc(hidden)]` so the differential property tests can pin
+    /// it against [`Self::probe_reference`]; not part of the supported API.
+    #[doc(hidden)]
+    #[inline(always)]
+    pub fn probe(&self, key: &K) -> Result<usize, (usize, u8)> {
+        self.probe_hashed(hash_one(key), key)
+    }
+
+    /// [`Self::probe`] with the caller supplying `hash_one(key)` — the
+    /// batched pipelines hash each key once when they issue its prefetch
+    /// and hand the value down here, so the probe does not hash again.
+    /// Passing anything but `key`'s own [`hash_one`] value breaks the
+    /// table's invariants.
+    #[doc(hidden)]
+    #[inline(always)]
+    pub fn probe_hashed(&self, hash: u64, key: &K) -> Result<usize, (usize, u8)> {
+        let (home, fp) = self.decompose(hash);
+        // Tier 1: byte-walk the home word — short probes stay on the
+        // cheap predicted path the byte loop gives them. The straight
+        // `home..word_end` range (no cyclic masking in the loop body)
+        // is what lets the compiler keep this walk tight; a measured
+        // 8-slots-from-home cyclic variant lost ~8% to the index AND,
+        // and a measured all-SWAR tier 1 (home word with the low lanes
+        // masked off) lost ~15% more — the hit-at-home common case
+        // pays for lane arithmetic it never needs.
+        let word_end = (home | (WORD - 1)) + 1;
+        for i in home..word_end {
+            let c = self.ctrl[i];
+            if c == EMPTY {
+                return Err((i, fp));
+            }
+            if c == fp {
+                if let Some((k, _)) = &self.entries[i] {
+                    if k == key {
+                        return Ok(i);
+                    }
+                }
+            }
+        }
+        self.probe_spill(home, fp, key)
+    }
+
+    /// Tier 2 of [`Self::probe_hashed`]: the SWAR word loop over the
+    /// words past `key`'s home word, entered only when the byte-walk of
+    /// the home word resolved nothing. Kept out of line (`#[cold]`) so
+    /// the common short-probe path stays small enough to inline into the
+    /// callers — folding this loop into tier 1 measurably slowed the
+    /// lookup-dominated bench through sheer code size.
+    #[cold]
+    #[inline(never)]
+    fn probe_spill(&self, home: usize, fp: u8, key: &K) -> Result<usize, (usize, u8)> {
+        let word_mask = self.ctrl.len() / WORD - 1;
+        let broadcast = (fp as u64) * LSB;
+        let mut w = (home / WORD + 1) & word_mask;
+        loop {
+            let word = self.ctrl_word(w);
+            let diff = word ^ broadcast;
+            let mut candidates = diff.wrapping_sub(LSB) & !diff & MSB;
+            while candidates != 0 {
+                let slot = w * WORD + candidates.trailing_zeros() as usize / 8;
+                if let Some((k, _)) = &self.entries[slot] {
+                    if k == key {
+                        return Ok(slot);
+                    }
+                }
+                candidates &= candidates - 1;
+            }
+            let empties = !word & MSB;
+            if empties != 0 {
+                return Err((w * WORD + empties.trailing_zeros() as usize / 8, fp));
+            }
+            w = (w + 1) & word_mask;
+        }
+    }
+
+    /// Bit-for-bit byte-at-a-time reference for [`Self::probe`]: the
+    /// pre-SWAR scan, one control byte per step. Kept for the differential
+    /// property tests (`tests/proptest_compact_map.rs`) and as the baseline
+    /// of the probe micro-benchmarks; not part of the supported API.
+    #[doc(hidden)]
     #[inline]
-    fn probe(&self, key: &K) -> Result<usize, (usize, u8)> {
+    pub fn probe_reference(&self, key: &K) -> Result<usize, (usize, u8)> {
         let (mut i, fp) = self.decompose(hash_one(key));
         loop {
             let c = self.ctrl[i];
@@ -147,6 +308,91 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
         }
     }
 
+    /// Value stored in `slot` (as returned by [`Self::probe`] /
+    /// [`Self::probe_reference`]), if the slot is occupied. Exposed
+    /// `#[doc(hidden)]` so the benches can pay the same entries touch
+    /// after either scan without a second probe.
+    #[doc(hidden)]
+    #[inline]
+    pub fn slot_value(&self, slot: usize) -> Option<&V> {
+        self.entries[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// First [`EMPTY`] slot at or cyclically after `home`, by the same
+    /// SWAR word scan as [`Self::probe`]. The table always holds one
+    /// (load is capped at 7/8), so the scan terminates.
+    #[inline]
+    fn first_empty_from(&self, home: usize) -> usize {
+        let word_mask = self.ctrl.len() / WORD - 1;
+        let mut w = home / WORD;
+        let mut keep = !0u64 << (8 * (home % WORD));
+        loop {
+            let empties = !self.ctrl_word(w) & MSB & keep;
+            if empties != 0 {
+                return w * WORD + empties.trailing_zeros() as usize / 8;
+            }
+            w = (w + 1) & word_mask;
+            keep = !0;
+        }
+    }
+
+    /// Hints the CPU to pull the cache lines `key`'s probe will touch —
+    /// the home control word and the home entry — without reading them
+    /// (see [`crate::fasthash::prefetch`]). The batched update pipelines
+    /// call this for keys a small lookahead before probing them, so the
+    /// misses of a batch overlap instead of serializing. Costs one hash
+    /// of `key`; has no observable effect on the map.
+    #[inline]
+    pub fn prefetch(&self, key: &K) {
+        self.prefetch_hashed(hash_one(key));
+    }
+
+    /// [`Self::prefetch`] with the caller supplying `hash_one(key)`,
+    /// letting the batched pipelines reuse one hash for the prefetch and
+    /// the later [`Self::probe_hashed`].
+    #[inline]
+    pub fn prefetch_hashed(&self, hash: u64) {
+        let (home, _) = self.decompose(hash);
+        crate::fasthash::prefetch(&self.ctrl[home]);
+        crate::fasthash::prefetch(&self.entries[home]);
+    }
+
+    /// Probe-shape statistics of the current table, computed on demand by
+    /// walking every occupied slot (nothing is counted on the hot path).
+    /// Used by the workspace's regression tests to pin the Lemire-route
+    /// probe-length invariant and by the benches to report table health.
+    pub fn probe_stats(&self) -> ProbeStats {
+        let words = self.ctrl.len() / WORD;
+        let mut total_len = 0u64;
+        let mut max_len = 0usize;
+        let mut total_words = 0u64;
+        let mut max_words = 0usize;
+        for (i, slot) in self.entries.iter().enumerate() {
+            let Some((k, _)) = slot else { continue };
+            let home = (hash_one(k) as usize) & self.mask;
+            let probe_len = (i.wrapping_sub(home) & self.mask) + 1;
+            let word_loads = ((i / WORD).wrapping_sub(home / WORD) & (words - 1)) + 1;
+            total_len += probe_len as u64;
+            max_len = max_len.max(probe_len);
+            total_words += word_loads as u64;
+            max_words = max_words.max(word_loads);
+        }
+        let mean = |total: u64| {
+            if self.len == 0 {
+                0.0
+            } else {
+                total as f64 / self.len as f64
+            }
+        };
+        ProbeStats {
+            keys: self.len,
+            mean_probe_len: mean(total_len),
+            max_probe_len: max_len,
+            mean_words_per_probe: mean(total_words),
+            max_words_per_probe: max_words,
+        }
+    }
+
     /// Slot holding `key`, if present.
     #[inline]
     fn find(&self, key: &K) -> Option<usize> {
@@ -157,6 +403,16 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
     #[inline]
     pub fn get(&self, key: &K) -> Option<&V> {
         self.find(key)
+            .map(|i| &self.entries[i].as_ref().expect("occupied slot").1)
+    }
+
+    /// [`Self::get`] with the caller supplying `hash_one(key)` (see
+    /// [`Self::probe_hashed`]): the batched pipelines hash once at
+    /// prefetch time and reuse the value for the probe.
+    #[inline]
+    pub fn get_hashed(&self, hash: u64, key: &K) -> Option<&V> {
+        self.probe_hashed(hash, key)
+            .ok()
             .map(|i| &self.entries[i].as_ref().expect("occupied slot").1)
     }
 
@@ -191,10 +447,8 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
     /// (grow re-installs existing entries).
     #[inline]
     fn install(&mut self, key: K, value: V) -> usize {
-        let (mut i, fp) = self.decompose(hash_one(&key));
-        while self.ctrl[i] != EMPTY {
-            i = (i + 1) & self.mask;
-        }
+        let (home, fp) = self.decompose(hash_one(&key));
+        let i = self.first_empty_from(home);
         self.entries[i] = Some((key, value));
         self.ctrl[i] = fp;
         i
@@ -260,7 +514,12 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
         // Knuth's Algorithm R on a circular table: walk the cluster after
         // the hole; any entry whose home position is cyclically outside
         // (hole, j] would become unreachable through the hole — move it
-        // into the hole and continue from its old slot.
+        // into the hole and continue from its old slot. The walk must
+        // visit every cluster slot regardless (each one needs its home
+        // recomputed), so the terminating-empty test stays a per-step
+        // byte check: a word-scan for the cluster end up front would be
+        // pure added latency here, unlike in [`Self::probe`] where wide
+        // lanes let displaced probes *skip* work.
         let mut j = hole;
         loop {
             j = (j + 1) & self.mask;
@@ -487,6 +746,80 @@ mod tests {
             "only {} of 128 fingerprints inside one shard",
             fps.len()
         );
+    }
+
+    #[test]
+    fn probe_stats_on_empty_and_home_resident_tables() {
+        let m: CompactMap<u64, u64> = CompactMap::new();
+        let stats = m.probe_stats();
+        assert_eq!(stats.keys, 0);
+        assert_eq!(stats.mean_probe_len, 0.0);
+        assert_eq!(stats.max_probe_len, 0);
+        assert_eq!(stats.mean_words_per_probe, 0.0);
+        assert_eq!(stats.max_words_per_probe, 0);
+        // One key, necessarily in its home slot: probe length 1, one word.
+        let mut m: CompactMap<u64, u64> = CompactMap::new();
+        m.insert(42, 0);
+        let stats = m.probe_stats();
+        assert_eq!(stats.keys, 1);
+        assert_eq!(stats.mean_probe_len, 1.0);
+        assert_eq!(stats.max_probe_len, 1);
+        assert_eq!(stats.mean_words_per_probe, 1.0);
+        assert_eq!(stats.max_words_per_probe, 1);
+    }
+
+    #[test]
+    fn probe_stats_counts_displacement() {
+        // Every key maps to a distinct home in a big sparse table, so
+        // *forcing* displacement needs a measured comparison instead:
+        // filling a table to capacity must raise the mean above 1 and the
+        // stats must stay consistent (mean ≤ max, words ≤ probe lengths).
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(512);
+        for i in 0..512 {
+            m.insert(i, i);
+        }
+        let stats = m.probe_stats();
+        assert_eq!(stats.keys, 512);
+        assert!(stats.mean_probe_len >= 1.0);
+        assert!(stats.max_probe_len >= stats.mean_probe_len.ceil() as usize);
+        assert!(stats.mean_words_per_probe >= 1.0);
+        assert!(stats.max_words_per_probe <= stats.max_probe_len.div_ceil(WORD) + 1);
+    }
+
+    #[test]
+    fn lemire_routed_shard_tables_keep_short_probes() {
+        // The PR 5 routing invariant, now pinned against `probe_stats`:
+        // keys a shard owns under `fasthash::route` (high-bit Lemire
+        // reduction) must not cluster in that shard's tables. At 4 shards
+        // and the stream-summary's exact sizing (4096 keys in a
+        // `with_capacity(4096)` table, ~50% load after the power-of-two
+        // round-up) the mean probe length stays at the unsharded level —
+        // ≤ 2.2 slots — and the SWAR scan loads ~1 control word per probe.
+        // A `hash % shards` router would push the mean far beyond this
+        // (the low index bits would be fixed per shard).
+        use crate::fasthash::route;
+        for shards in [1usize, 4] {
+            let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(4096);
+            let mut key = 0u64;
+            while m.len() < 4096 {
+                if route(&key, shards) == 0 {
+                    m.insert(key, key);
+                }
+                key += 1;
+            }
+            let stats = m.probe_stats();
+            assert_eq!(stats.keys, 4096);
+            assert!(
+                stats.mean_probe_len <= 2.2,
+                "shard 0 of {shards}: mean probe length {} exceeds 2.2",
+                stats.mean_probe_len
+            );
+            assert!(
+                stats.mean_words_per_probe <= 1.25,
+                "shard 0 of {shards}: {} control-word loads per probe",
+                stats.mean_words_per_probe
+            );
+        }
     }
 
     #[test]

@@ -167,6 +167,50 @@ pub fn hash_one<K: Hash + ?Sized>(key: &K) -> u64 {
     hasher.finish()
 }
 
+/// How many keys ahead the batched update pipelines issue their
+/// [`prefetch`]es: far enough for a memory access to complete before the
+/// probe arrives (a miss is hundreds of cycles, a pipelined update tens),
+/// near enough that the prefetched lines are still resident when used.
+pub const PREFETCH_LOOKAHEAD: usize = 8;
+
+/// Hints the CPU to pull the cache line holding `data` into all cache
+/// levels, without reading it.
+///
+/// This is the software-prefetch shim behind the workspace's batched
+/// update pipelines (hash a lookahead window of keys, prefetch their home
+/// lines, then probe — overlapping what would otherwise be serialized
+/// dependent misses). It is a *hint* with no observable effect: results,
+/// estimates and RNG draws are bit-identical with and without it.
+///
+/// # Platform and cfg fallback
+/// On `x86_64` this compiles to one `prefetcht0` instruction via
+/// [`core::arch::x86_64::_mm_prefetch`] (SSE is baseline on `x86_64`, so
+/// no feature detection is needed; the instruction never faults, even on
+/// dangling or unmapped addresses). Everywhere else — other architectures,
+/// MIRI (`cfg(miri)`), or when built with
+/// `RUSTFLAGS="--cfg memento_no_prefetch"` (the CI leg that keeps the
+/// fallback compiled and tested) — it is a no-op, so the tier-1 test
+/// suite and the interpreter-based tools see pure safe code with the
+/// same semantics.
+#[inline(always)]
+pub fn prefetch<T>(data: &T) {
+    #[cfg(all(target_arch = "x86_64", not(miri), not(memento_no_prefetch)))]
+    {
+        // SAFETY: `_mm_prefetch` is a pure hint — it performs no memory
+        // access observable by the program and never faults, for any
+        // pointer value; SSE is part of the x86_64 baseline.
+        #[allow(unsafe_code)]
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(data as *const T as *const i8);
+        }
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri), not(memento_no_prefetch))))]
+    {
+        let _ = data;
+    }
+}
+
 /// The shared shard-routing helper: the shard in `0..shards` owning `key`.
 /// Hashes the key exactly once; deterministic across runs and processes
 /// (both sharded engines route through this, so a key's owner never

@@ -24,7 +24,11 @@
 //!
 //! [paper]: https://arxiv.org/abs/1810.02899
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one targeted `#[allow(unsafe_code)]`
+// in the crate wraps the software-prefetch intrinsic
+// ([`fasthash::prefetch`]), a no-access CPU hint that cannot fault.
+// Everything that reads or writes memory remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compact_map;
@@ -35,7 +39,7 @@ pub mod sampling;
 pub mod space_saving;
 pub mod stream_summary;
 
-pub use compact_map::CompactMap;
+pub use compact_map::{CompactMap, ProbeStats};
 pub use exact::{ExactInterval, ExactWindow};
 pub use fasthash::{FastBuildHasher, FastHasher};
 pub use overflow_queue::OverflowQueue;

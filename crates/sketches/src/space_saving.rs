@@ -16,6 +16,7 @@
 
 use std::hash::Hash;
 
+use crate::fasthash::PREFETCH_LOOKAHEAD;
 use crate::stream_summary::StreamSummary;
 
 /// A snapshot of one Space Saving counter, used for merging, reporting and
@@ -83,14 +84,69 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     /// heavy flows this structure exists to count): `increment`'s `None`
     /// doubles as the absence check, so no separate `contains` probe.
     pub fn add(&mut self, key: K) -> u64 {
+        self.add_hashed(key, None)
+    }
+
+    /// [`Self::add`] with an optionally precomputed
+    /// [`crate::fasthash::hash_one`] value for `key`: the batched
+    /// pipelines hash each key once when issuing its prefetch and hand
+    /// the value down here, so the monitored-key increment (the common
+    /// case) does not hash again. The insertion paths re-hash — they do
+    /// structural slot surgery anyway.
+    #[inline]
+    pub fn add_hashed(&mut self, key: K, hash: Option<u64>) -> u64 {
         self.processed += 1;
-        if let Some(count) = self.summary.increment(&key) {
+        let incremented = match hash {
+            Some(h) => self.summary.increment_hashed(&key, h),
+            None => self.summary.increment(&key),
+        };
+        if let Some(count) = incremented {
             count
         } else if !self.summary.is_full() {
             self.summary.insert_new(key).expect("summary not full")
         } else {
             self.summary.replace_min(key).0
         }
+    }
+
+    /// Processes a batch of occurrences with the prefetch pipeline: each
+    /// key is hashed once, [`PREFETCH_LOOKAHEAD`] keys before its turn,
+    /// the hash issues the index prefetch and then rides a small ring
+    /// buffer to the key's own [`Self::add_hashed`] probe — so the probe
+    /// misses of a batch overlap *and* no key is hashed twice. Exactly
+    /// equivalent to calling `add` on each key in order (prefetches are
+    /// hints — see [`crate::fasthash::prefetch`]).
+    pub fn add_batch(&mut self, keys: &[K]) {
+        let mut hashes = [0u64; PREFETCH_LOOKAHEAD];
+        for (j, key) in keys.iter().take(PREFETCH_LOOKAHEAD).enumerate() {
+            hashes[j] = crate::fasthash::hash_one(key);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let slot = i % PREFETCH_LOOKAHEAD;
+            let hash = hashes[slot];
+            if let Some(ahead) = keys.get(i + PREFETCH_LOOKAHEAD) {
+                let h = crate::fasthash::hash_one(ahead);
+                self.summary.prefetch_hashed(h);
+                hashes[slot] = h;
+            }
+            self.add_hashed(key.clone(), Some(hash));
+        }
+    }
+
+    /// Hints the CPU to pull the summary-index lines `key`'s next
+    /// [`Self::add`] or [`Self::query`] will touch
+    /// ([`StreamSummary::prefetch`]). No observable effect.
+    #[inline]
+    pub fn prefetch(&self, key: &K) {
+        self.summary.prefetch(key);
+    }
+
+    /// [`Self::prefetch`] with the caller supplying the key's
+    /// [`crate::fasthash::hash_one`] value (see
+    /// [`StreamSummary::prefetch_hashed`]).
+    #[inline]
+    pub fn prefetch_hashed(&self, hash: u64) {
+        self.summary.prefetch_hashed(hash);
     }
 
     /// Estimated count of `key` (the counter value when monitored, otherwise

@@ -143,12 +143,36 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
         self.index.contains_key(key)
     }
 
+    /// Hints the CPU to pull the key-index lines a probe of `key` will
+    /// touch ([`CompactMap::prefetch`]): the batched update pipelines call
+    /// this a small lookahead before [`Self::increment`]/insertion so the
+    /// index misses of a batch overlap. No observable effect.
+    #[inline]
+    pub fn prefetch(&self, key: &K) {
+        self.index.prefetch(key);
+    }
+
+    /// [`Self::prefetch`] with the caller supplying the key's
+    /// [`crate::fasthash::hash_one`] value, so one hash serves both the
+    /// prefetch and the later [`Self::increment_hashed`] probe.
+    #[inline]
+    pub fn prefetch_hashed(&self, hash: u64) {
+        self.index.prefetch_hashed(hash);
+    }
+
     /// Increments the counter of a monitored `key` by one and returns the new
     /// count, or `None` when the key is not monitored. (One index probe: on
     /// the hot path callers use the `None` to branch to insertion instead of
     /// probing `contains` first.)
     pub fn increment(&mut self, key: &K) -> Option<u64> {
         let slot = *self.index.get(key)?;
+        Some(self.increment_slot(slot))
+    }
+
+    /// [`Self::increment`] with the caller supplying `hash_one(key)` (see
+    /// [`CompactMap::get_hashed`]).
+    pub fn increment_hashed(&mut self, key: &K, hash: u64) -> Option<u64> {
+        let slot = *self.index.get_hashed(hash, key)?;
         Some(self.increment_slot(slot))
     }
 

@@ -1,6 +1,6 @@
-//! Differential property tests for the hot-path layer of PR 5.
+//! Differential property tests for the hot-path layer (PRs 5 and 6).
 //!
-//! Two suites:
+//! Three suites:
 //!
 //! * [`CompactMap`] vs `std::collections::HashMap` under random
 //!   insert/get/remove/iterate sequences — including a removal-heavy
@@ -8,6 +8,11 @@
 //!   backward-shift deletion exists for (a shift bug shows up as a key
 //!   becoming unreachable or a stale value resurfacing after later
 //!   inserts probe over the hole).
+//! * The SWAR word-scan `probe` vs the byte-at-a-time `probe_reference`
+//!   on arbitrary insert/remove/get interleavings, under backward-shift
+//!   churn, and on tables filled to the full 7/8 load cap: both scans
+//!   must return the *identical* `Ok(slot)` / `Err((empty, fp))` for
+//!   every key, present or absent.
 //! * [`StreamSummary`] (CompactMap index + hot/cold SoA slots) vs a
 //!   test-local copy of the seed-era implementation (AoS slots,
 //!   `HashMap` index): same operation sequences must produce identical
@@ -75,6 +80,17 @@ fn run_map_ops(ops: &[(u8, u8)]) {
     }
 }
 
+/// Asserts the SWAR `probe` and the byte-scan `probe_reference` agree on
+/// `key` — same hit slot on a present key, same terminating empty slot
+/// and fingerprint on an absent one.
+fn assert_probes_agree(map: &CompactMap<u64, u32>, key: u64, context: &str) {
+    assert_eq!(
+        map.probe(&key),
+        map.probe_reference(&key),
+        "SWAR probe diverges from the byte scan for key {key} ({context})"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -85,6 +101,70 @@ proptest! {
         ops in prop::collection::vec((0u8..8, 0u8..48), 1..600),
     ) {
         run_map_ops(&ops);
+    }
+
+    /// SWAR ≡ byte scan under arbitrary insert/remove/upsert interleavings
+    /// (removal-weighted, so backward-shift churn keeps rearranging the
+    /// clusters the scans walk): after every op, probe a window of keys
+    /// around the touched one — present, absent, and just-removed alike.
+    #[test]
+    fn swar_probe_equals_reference_under_churn(
+        ops in prop::collection::vec(
+            prop_oneof![
+                2 => (Just(1u8), 0u8..32),          // remove
+                2 => (Just(0u8), 0u8..32),          // insert
+                1 => (Just(2u8), 0u8..32),          // upsert-increment
+            ],
+            1..500,
+        ),
+    ) {
+        let ops: Vec<(u8, u8)> = ops;
+        let mut map: CompactMap<u64, u32> = CompactMap::new();
+        for (step, &(op, key)) in ops.iter().enumerate() {
+            let key = key as u64;
+            match op {
+                0 => {
+                    map.insert(key, step as u32);
+                }
+                1 => {
+                    map.remove(&key);
+                }
+                _ => {
+                    *map.get_or_insert_with(key, || 0) += 1;
+                }
+            }
+            for probe_key in key.saturating_sub(3)..=key + 3 {
+                assert_probes_agree(&map, probe_key, &format!("after step {step}"));
+            }
+        }
+        for probe_key in 0u64..36 {
+            assert_probes_agree(&map, probe_key, "final table");
+        }
+    }
+
+    /// SWAR ≡ byte scan on tables at the full 7/8 load cap — the longest
+    /// clusters and the fewest empty lanes the scan can ever meet — and
+    /// again after backward-shift churn removes every third key.
+    #[test]
+    fn swar_probe_equals_reference_at_full_load(
+        base in 0u64..u64::MAX,
+        capacity in 1usize..160,
+    ) {
+        let mut map: CompactMap<u64, u32> = CompactMap::with_capacity(capacity);
+        let full = map.capacity() as u64; // exactly the 7/8 load limit
+        for i in 0..full {
+            map.insert(base.wrapping_add(i), i as u32);
+        }
+        prop_assert_eq!(map.len() as u64, full);
+        for i in 0..full + 16 {
+            assert_probes_agree(&map, base.wrapping_add(i), "at 7/8 load");
+        }
+        for i in (0..full).step_by(3) {
+            map.remove(&base.wrapping_add(i));
+        }
+        for i in 0..full + 16 {
+            assert_probes_agree(&map, base.wrapping_add(i), "after churn");
+        }
     }
 
     /// Removal-heavy churn: half the ops are removes, so clusters form and

@@ -8,7 +8,7 @@
 
 use std::hash::Hash;
 
-use memento_core::traits::HhhAlgorithm;
+use memento_core::traits::{HhhAlgorithm, HhhQuery};
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::ExactWindow;
 
@@ -114,7 +114,7 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhAlgorithm<Hi> for ExactWindowHhh<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for ExactWindowHhh<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -122,6 +122,23 @@ where
         "exact-window-hhh"
     }
 
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.frequency(prefix) as f64
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        ExactWindowHhh::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        ExactWindowHhh::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for ExactWindowHhh<Hi>
+where
+    Hi::Prefix: Hash,
+{
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         ExactWindowHhh::update(self, item);
@@ -133,20 +150,8 @@ where
         ExactWindowHhh::skip(self, n);
     }
 
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        self.frequency(prefix) as f64
-    }
-
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        ExactWindowHhh::output(self, theta)
-    }
-
     fn space_bytes(&self) -> usize {
         ExactWindowHhh::space_bytes(self)
-    }
-
-    fn processed(&self) -> u64 {
-        ExactWindowHhh::processed(self)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::hash::Hash;
 
-use memento_core::traits::HhhAlgorithm;
+use memento_core::traits::{HhhAlgorithm, HhhQuery};
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::SpaceSaving;
 
@@ -137,7 +137,7 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Mst<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for Mst<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -145,6 +145,23 @@ where
         "mst"
     }
 
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        Mst::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        Mst::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        Mst::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Mst<Hi>
+where
+    Hi::Prefix: Hash,
+{
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         Mst::update(self, item);
@@ -155,20 +172,8 @@ where
     /// elsewhere are simply outside its interval.
     fn skip(&mut self, _n: u64) {}
 
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        Mst::estimate(self, prefix)
-    }
-
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        Mst::output(self, theta)
-    }
-
     fn space_bytes(&self) -> usize {
         Mst::space_bytes(self)
-    }
-
-    fn processed(&self) -> u64 {
-        Mst::processed(self)
     }
 
     fn is_interval(&self) -> bool {

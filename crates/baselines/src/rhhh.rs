@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use memento_core::analysis::z_value;
-use memento_core::traits::HhhAlgorithm;
+use memento_core::traits::{HhhAlgorithm, HhhQuery};
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 use memento_sketches::{GeometricSampler, Sampler, SpaceSaving};
 
@@ -180,7 +180,7 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Rhhh<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for Rhhh<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -188,6 +188,23 @@ where
         "rhhh"
     }
 
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        Rhhh::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        Rhhh::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        Rhhh::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for Rhhh<Hi>
+where
+    Hi::Prefix: Hash,
+{
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         Rhhh::update(self, item);
@@ -198,20 +215,8 @@ where
     /// observed elsewhere are simply outside its interval.
     fn skip(&mut self, _n: u64) {}
 
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        Rhhh::estimate(self, prefix)
-    }
-
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        Rhhh::output(self, theta)
-    }
-
     fn space_bytes(&self) -> usize {
         Rhhh::space_bytes(self)
-    }
-
-    fn processed(&self) -> u64 {
-        Rhhh::processed(self)
     }
 
     fn is_interval(&self) -> bool {

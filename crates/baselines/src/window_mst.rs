@@ -9,7 +9,7 @@
 
 use std::hash::Hash;
 
-use memento_core::traits::HhhAlgorithm;
+use memento_core::traits::{HhhAlgorithm, HhhQuery};
 use memento_core::Wcss;
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 
@@ -142,7 +142,7 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhAlgorithm<Hi> for WindowMst<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for WindowMst<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -150,6 +150,23 @@ where
         "window-mst"
     }
 
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        WindowMst::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        WindowMst::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        WindowMst::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for WindowMst<Hi>
+where
+    Hi::Prefix: Hash,
+{
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         WindowMst::update(self, item);
@@ -161,20 +178,8 @@ where
         WindowMst::skip(self, n);
     }
 
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        WindowMst::estimate(self, prefix)
-    }
-
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        WindowMst::output(self, theta)
-    }
-
     fn space_bytes(&self) -> usize {
         WindowMst::space_bytes(self)
-    }
-
-    fn processed(&self) -> u64 {
-        WindowMst::processed(self)
     }
 }
 

@@ -25,14 +25,17 @@
 //! `PERF_GATE_SKIP_SPEEDUP=1`. Refresh the baseline on a quiet machine with
 //! `cargo run --release --bin perf_gate -- --write-baseline`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use memento_bench::gate::{
     calibration_mops, check_rmse_blowup, compare_throughput, GateReport, GateRow,
     GATE_SCHEMA_VERSION,
 };
 use memento_bench::{full_scale, make_trace, measure_mpps, on_arrival_rmse, scaled};
 use memento_core::traits::SlidingWindowEstimator;
-use memento_core::{Memento, Wcss};
-use memento_shard::ShardedEstimator;
+use memento_core::{Memento, Wcss, WindowQuery};
+use memento_shard::{PublishPolicy, ShardedEstimator};
 use memento_traces::{Packet, TracePreset};
 
 /// Packet-burst size fed to `update_batch` (a NIC-burst-like unit, same for
@@ -161,6 +164,10 @@ fn main() {
         ));
     }
 
+    // The PR 7 query-plane row: the 4-shard Memento ingesting at full tilt
+    // while 4 wait-free snapshot readers hammer `estimate` concurrently.
+    rows.push(measure_readers_row(&config, &preset, &keys));
+
     let calibration = calibration_mops();
     eprintln!("perf_gate: calibration workload: {calibration:.0} mops single-core");
 
@@ -194,6 +201,7 @@ fn main() {
 
     let mut failures = Vec::new();
     check_speedup(&report, &mut failures);
+    check_reader_overhead(&report, &mut failures);
 
     // Schema-v2 accuracy rule: sharded on-arrival RMSE must track the
     // single-shard reference on the skewed workload.
@@ -324,6 +332,102 @@ fn measure_row(
         workload: preset.name.to_string(),
         mpps: best,
         on_arrival_rmse: Some(rmse.value()),
+    }
+}
+
+/// Measures the `concurrent-readers` row: the 4-shard Memento's ingest
+/// throughput while 4 wait-free [`SnapshotReader`] threads spin on
+/// `estimate` against the published snapshots. The engine publishes every
+/// 16 shipped batches, so the readers chew on a continuously-swapping epoch
+/// buffer — the worst case for reader/publisher interference. Because the
+/// readers never touch a worker FIFO or a router lock, ingest should be
+/// nearly unaffected (the `check_reader_overhead` rule).
+///
+/// [`SnapshotReader`]: memento_shard::SnapshotReader
+fn measure_readers_row(config: &GateConfig, preset: &TracePreset, keys: &[u64]) -> GateRow {
+    const READERS: usize = 4;
+    let mut best = 0.0f64;
+    for _ in 0..PASSES {
+        let mut engine =
+            ShardedEstimator::memento(4, config.counters, config.window, config.tau, config.seed)
+                .with_policy(PublishPolicy {
+                    every_batches: 16,
+                    on_query: true,
+                });
+        let reader = engine.reader();
+        let stop = Arc::new(AtomicBool::new(false));
+        let guards: Vec<_> = (0..READERS)
+            .map(|i| {
+                let r = reader.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut acc = 0.0f64;
+                    let mut key = i as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        acc += r.estimate(&key);
+                        key = (key + 7) % 4_096;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mpps = measure_mpps(keys.len(), || {
+            for part in keys.chunks(CHUNK) {
+                engine.update_batch(part);
+            }
+            assert_eq!(engine.processed(), keys.len() as u64);
+        });
+        stop.store(true, Ordering::Relaxed);
+        for g in guards {
+            let _ = g.join();
+        }
+        best = best.max(mpps);
+    }
+    eprintln!("perf_gate: concurrent-readers@4 shards + {READERS} readers: {best:.2} mpps");
+    GateRow {
+        algorithm: "concurrent-readers".to_string(),
+        shards: 4,
+        tau: config.tau,
+        counters: config.counters,
+        workload: preset.name.to_string(),
+        mpps: best,
+        on_arrival_rmse: None,
+    }
+}
+
+/// The PR 7 acceptance check: with 4 concurrent snapshot readers, ingest
+/// throughput must stay within 10% of the no-reader 4-shard Memento row.
+/// Enforced from 8 cores up (4 workers + 4 readers genuinely in parallel);
+/// below that the readers legitimately steal worker cycles and the check
+/// would measure the scheduler, not the query plane. Skipped with
+/// `PERF_GATE_SKIP_READERS=1`.
+fn check_reader_overhead(report: &GateReport, failures: &mut Vec<String>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (Some(no_readers), Some(with_readers)) = (
+        report.row("sharded-memento", 4),
+        report.row("concurrent-readers", 4),
+    ) else {
+        failures.push(
+            "reader overhead check: sharded-memento@4 or concurrent-readers@4 row missing"
+                .to_string(),
+        );
+        return;
+    };
+    let ratio = with_readers.mpps / no_readers.mpps;
+    eprintln!(
+        "perf_gate: ingest with 4 readers at {:.2}x the no-reader throughput \
+         ({:.2} / {:.2} mpps, {cores} cores)",
+        ratio, with_readers.mpps, no_readers.mpps
+    );
+    if env_truthy("PERF_GATE_SKIP_READERS") {
+        eprintln!("perf_gate: reader overhead check skipped (PERF_GATE_SKIP_READERS)");
+    } else if cores < 8 {
+        eprintln!("perf_gate: reader overhead check skipped (only {cores} cores available)");
+    } else if ratio < 0.90 {
+        failures.push(format!(
+            "concurrent-readers@4 ingest dropped to {ratio:.2}x of the no-reader \
+             throughput (need >= 0.90x)"
+        ));
     }
 }
 

@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn generic_estimator_drivers_process_every_packet() {
-        use memento_core::Memento;
+        use memento_core::{Memento, WindowQuery};
         let keys: Vec<u64> = make_trace(&TracePreset::tiny(), 5_000, 2)
             .iter()
             .map(Packet::flow)
@@ -322,11 +322,11 @@ mod tests {
         let mut memento: Memento<u64> = Memento::new(64, 2_000, 0.5, 1);
         let mpps = measure_estimator_mpps(&mut memento, &keys);
         assert!(mpps > 0.0);
-        assert_eq!(SlidingWindowEstimator::processed(&memento), 5_000);
+        assert_eq!(WindowQuery::processed(&memento), 5_000);
         let mut batched: Memento<u64> = Memento::new(64, 2_000, 0.5, 1);
         let mpps = measure_estimator_batch_mpps(&mut batched, &keys);
         assert!(mpps > 0.0);
-        assert_eq!(SlidingWindowEstimator::processed(&batched), 5_000);
+        assert_eq!(WindowQuery::processed(&batched), 5_000);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod config;
 pub mod error;
 pub mod h_memento;
 pub mod memento;
+pub mod query;
 pub mod traits;
 pub mod wcss;
 
@@ -54,5 +55,6 @@ pub use config::MementoConfig;
 pub use error::ConfigError;
 pub use h_memento::HMemento;
 pub use memento::Memento;
+pub use query::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
 pub use traits::{HhhAlgorithm, SlidingWindowEstimator};
 pub use wcss::Wcss;

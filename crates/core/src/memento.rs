@@ -857,6 +857,15 @@ impl<K: Eq + Hash + Clone> Memento<K> {
         raw as f64 * self.scale
     }
 
+    /// The estimate [`Self::estimate`] assigns to any key with neither an
+    /// overflow entry nor an in-frame counter: the `2·block` one-sided
+    /// slack plus Space-Saving's absent-key answer, scaled by τ⁻¹. Depends
+    /// on the current fill state of the in-frame summary, so snapshot code
+    /// captures it at freeze time rather than assuming a constant.
+    pub fn untracked_estimate(&self) -> f64 {
+        (2 * self.overflow_threshold + self.y.absent_query()) as f64 * self.scale
+    }
+
     /// Upper bound on the window frequency (alias of [`Self::estimate`]).
     pub fn upper_bound(&self, key: &K) -> f64 {
         self.estimate(key)

@@ -15,7 +15,15 @@
 //!   [`Memento::update_batch`](crate::Memento::update_batch));
 //! * [`HhhAlgorithm`] — hierarchical heavy hitters over a [`Hierarchy`].
 //!
-//! Both traits are object safe: consumers can hold
+//! Since PR 7 both are **ingest** traits layered over the read-only query
+//! traits in [`crate::query`]: `SlidingWindowEstimator<K>` extends
+//! [`WindowQuery<K>`] and `HhhAlgorithm<Hi>` extends [`HhhQuery<Hi>`]. The
+//! query half needs only `&self` and is also implemented by frozen summaries
+//! and the sharded engines' snapshot readers, so read-side consumers (ACL
+//! checks, controllers, dashboards) can be written against `&dyn
+//! WindowQuery<K>` and never see a mutating method.
+//!
+//! All four traits are object safe: consumers can hold
 //! `Vec<Box<dyn SlidingWindowEstimator<u64>>>` (as the workspace's
 //! trait-object smoke test does) or take `&mut dyn HhhAlgorithm<_>`.
 
@@ -24,20 +32,25 @@ use std::hash::Hash;
 use memento_hierarchy::Hierarchy;
 use memento_sketches::{ExactWindow, SpaceSaving};
 
+pub use crate::query::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
+
 use crate::h_memento::HMemento;
 use crate::memento::Memento;
 use crate::wcss::Wcss;
 
 /// A streaming per-flow frequency estimator, usually over a sliding window.
 ///
+/// This is the *ingest* half of the interface — everything that mutates the
+/// state. The query half ([`estimate`](WindowQuery::estimate),
+/// [`heavy_hitters`](WindowQuery::heavy_hitters),
+/// [`processed`](WindowQuery::processed)) lives in the [`WindowQuery`]
+/// supertrait so it can be shared with frozen snapshots and readers.
+///
 /// Implementors with interval (landmark-window) semantics — [`SpaceSaving`]
 /// counts everything since its last flush — document so; the trait's
-/// contract is about the *query surface*, which the paper's evaluation
-/// drivers share across both families.
-pub trait SlidingWindowEstimator<K: Clone> {
-    /// Short stable name used in bench CSV output and test diagnostics.
-    fn name(&self) -> &'static str;
-
+/// contract is about the shared driver surface, which the paper's evaluation
+/// uses across both families.
+pub trait SlidingWindowEstimator<K: Clone>: WindowQuery<K> {
     /// Processes one packet of flow `key`.
     fn update(&mut self, key: K);
 
@@ -78,7 +91,7 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// # Contract: `skip(n)` ≡ `n` unrecorded window advances
     ///
     /// ```
-    /// use memento_core::traits::SlidingWindowEstimator;
+    /// use memento_core::traits::{SlidingWindowEstimator, WindowQuery};
     /// use memento_core::Memento;
     ///
     /// // Two identical instances over a 60-packet window (τ = 1: WCSS
@@ -97,8 +110,8 @@ pub trait SlidingWindowEstimator<K: Clone> {
     /// }
     /// for key in 0..3u64 {
     ///     assert_eq!(
-    ///         SlidingWindowEstimator::estimate(&bulk, &key),
-    ///         SlidingWindowEstimator::estimate(&per_packet, &key),
+    ///         WindowQuery::estimate(&bulk, &key),
+    ///         WindowQuery::estimate(&per_packet, &key),
     ///     );
     /// }
     /// assert_eq!(bulk.processed(), per_packet.processed());
@@ -141,25 +154,8 @@ pub trait SlidingWindowEstimator<K: Clone> {
         }
     }
 
-    /// Estimated window frequency of `key`, in packets.
-    fn estimate(&self, key: &K) -> f64;
-
-    /// Flows whose estimated frequency reaches `threshold` packets, sorted
-    /// by decreasing estimate.
-    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)>;
-
     /// Approximate heap footprint of the estimator state in bytes.
     fn space_bytes(&self) -> usize;
-
-    /// Total packets processed so far.
-    fn processed(&self) -> u64;
-
-    /// Additive bound (in packets, with high probability) on the estimation
-    /// error for the current configuration: `0` for exact oracles, `ε_a·W`
-    /// for deterministic summaries, `ε_a·W` plus sampling noise for sampled
-    /// ones. Consumers use it to scale assertions and plots, not as a hard
-    /// guarantee for sampled estimators.
-    fn error_bound(&self) -> f64;
 
     /// True when instances of this estimator running over *disjoint key
     /// partitions* of one stream answer the global window queries by simple
@@ -183,11 +179,44 @@ pub trait SlidingWindowEstimator<K: Clone> {
     }
 }
 
-impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
+impl<K: Eq + Hash + Clone> WindowQuery<K> for Memento<K> {
     fn name(&self) -> &'static str {
         "memento"
     }
 
+    fn estimate(&self, key: &K) -> f64 {
+        Memento::estimate(self, key)
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        Memento::heavy_hitters(self, threshold)
+    }
+
+    fn processed(&self) -> u64 {
+        Memento::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        // ε_a·W from the counters (Theorem 5.2's algorithm error, one-sided
+        // slack included) plus a high-probability bound on the sampling
+        // noise, which scales like √(W/τ).
+        let algo = 4.0 * self.window() as f64 / self.counters() as f64;
+        let sampling = if self.tau() >= 1.0 {
+            0.0
+        } else {
+            4.0 * (self.window() as f64 / self.tau()).sqrt()
+        };
+        algo + sampling
+    }
+
+    /// The state-dependent absent-key slack `(2·block + y_min)·scale`
+    /// ([`Memento::untracked_estimate`]).
+    fn untracked_estimate(&self) -> f64 {
+        Memento::untracked_estimate(self)
+    }
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
     #[inline]
     fn update(&mut self, key: K) {
         Memento::update(self, key);
@@ -213,41 +242,40 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Memento<K> {
         Memento::update_batch_positioned(self, gaps, keys);
     }
 
-    fn estimate(&self, key: &K) -> f64 {
-        Memento::estimate(self, key)
-    }
-
-    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
-        Memento::heavy_hitters(self, threshold)
-    }
-
     fn space_bytes(&self) -> usize {
         Memento::space_bytes(self)
     }
-
-    fn processed(&self) -> u64 {
-        Memento::processed(self)
-    }
-
-    fn error_bound(&self) -> f64 {
-        // ε_a·W from the counters (Theorem 5.2's algorithm error, one-sided
-        // slack included) plus a high-probability bound on the sampling
-        // noise, which scales like √(W/τ).
-        let algo = 4.0 * self.window() as f64 / self.counters() as f64;
-        let sampling = if self.tau() >= 1.0 {
-            0.0
-        } else {
-            4.0 * (self.window() as f64 / self.tau()).sqrt()
-        };
-        algo + sampling
-    }
 }
 
-impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
+impl<K: Eq + Hash + Clone> WindowQuery<K> for Wcss<K> {
     fn name(&self) -> &'static str {
         "wcss"
     }
 
+    fn estimate(&self, key: &K) -> f64 {
+        Wcss::estimate(self, key)
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        Wcss::heavy_hitters(self, threshold)
+    }
+
+    fn processed(&self) -> u64 {
+        Wcss::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        4.0 * self.window() as f64 / self.counters() as f64
+    }
+
+    /// Inherited from the underlying deterministic Memento: the τ = 1
+    /// absent-key slack.
+    fn untracked_estimate(&self) -> f64 {
+        self.as_memento().untracked_estimate()
+    }
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
     #[inline]
     fn update(&mut self, key: K) {
         Wcss::update(self, key);
@@ -275,32 +303,37 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for Wcss<K> {
         self.as_memento_mut().update_batch_positioned(gaps, keys);
     }
 
-    fn estimate(&self, key: &K) -> f64 {
-        Wcss::estimate(self, key)
-    }
-
-    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
-        Wcss::heavy_hitters(self, threshold)
-    }
-
     fn space_bytes(&self) -> usize {
         self.as_memento().space_bytes()
     }
-
-    fn processed(&self) -> u64 {
-        Wcss::processed(self)
-    }
-
-    fn error_bound(&self) -> f64 {
-        4.0 * self.window() as f64 / self.counters() as f64
-    }
 }
 
-impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
+impl<K: Eq + Hash + Clone> WindowQuery<K> for ExactWindow<K> {
     fn name(&self) -> &'static str {
         "exact-window"
     }
 
+    fn estimate(&self, key: &K) -> f64 {
+        self.query(key) as f64
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        ExactWindow::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
+            .into_iter()
+            .map(|(k, c)| (k, c as f64))
+            .collect()
+    }
+
+    fn processed(&self) -> u64 {
+        ExactWindow::processed(self)
+    }
+
+    fn error_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
     #[inline]
     fn update(&mut self, key: K) {
         self.add(key);
@@ -315,27 +348,39 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
         ExactWindow::skip(self, n);
     }
 
+    fn space_bytes(&self) -> usize {
+        ExactWindow::space_bytes(self)
+    }
+}
+
+impl<K: Eq + Hash + Clone> WindowQuery<K> for SpaceSaving<K> {
+    fn name(&self) -> &'static str {
+        "space-saving"
+    }
+
     fn estimate(&self, key: &K) -> f64 {
         self.query(key) as f64
     }
 
     fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
-        ExactWindow::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
+        SpaceSaving::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
             .into_iter()
-            .map(|(k, c)| (k, c as f64))
+            .map(|c| (c.key, c.count as f64))
             .collect()
     }
 
-    fn space_bytes(&self) -> usize {
-        ExactWindow::space_bytes(self)
-    }
-
     fn processed(&self) -> u64 {
-        ExactWindow::processed(self)
+        SpaceSaving::processed(self)
     }
 
     fn error_bound(&self) -> f64 {
-        0.0
+        self.processed() as f64 / self.counters() as f64
+    }
+
+    /// The fill-state-dependent absent-key answer: the minimum summary
+    /// count once the summary is full ([`SpaceSaving::absent_query`]).
+    fn untracked_estimate(&self) -> f64 {
+        self.absent_query() as f64
     }
 }
 
@@ -343,10 +388,6 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for ExactWindow<K> {
 /// the last flush. Included so interval baselines run under the same generic
 /// drivers the paper's §3 comparison needs.
 impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
-    fn name(&self) -> &'static str {
-        "space-saving"
-    }
-
     #[inline]
     fn update(&mut self, key: K) {
         self.add(key);
@@ -365,27 +406,8 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
     /// are simply outside its interval.
     fn skip(&mut self, _n: u64) {}
 
-    fn estimate(&self, key: &K) -> f64 {
-        self.query(key) as f64
-    }
-
-    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
-        SpaceSaving::heavy_hitters(self, threshold.max(0.0).ceil() as u64)
-            .into_iter()
-            .map(|c| (c.key, c.count as f64))
-            .collect()
-    }
-
     fn space_bytes(&self) -> usize {
         SpaceSaving::space_bytes(self)
-    }
-
-    fn processed(&self) -> u64 {
-        SpaceSaving::processed(self)
-    }
-
-    fn error_bound(&self) -> f64 {
-        self.processed() as f64 / self.counters() as f64
     }
 
     /// Interval semantics opt out explicitly: `skip` is a no-op here, so a
@@ -398,10 +420,11 @@ impl<K: Eq + Hash + Clone> SlidingWindowEstimator<K> for SpaceSaving<K> {
 }
 
 /// A hierarchical heavy-hitters algorithm over a [`Hierarchy`].
-pub trait HhhAlgorithm<Hi: Hierarchy> {
-    /// Short stable name used in bench CSV output and test diagnostics.
-    fn name(&self) -> &'static str;
-
+///
+/// The ingest half; the query half ([`estimate`](HhhQuery::estimate),
+/// [`output`](HhhQuery::output), [`processed`](HhhQuery::processed)) lives
+/// in the [`HhhQuery`] supertrait shared with frozen snapshots and readers.
+pub trait HhhAlgorithm<Hi: Hierarchy>: HhhQuery<Hi> {
     /// Processes one packet.
     fn update(&mut self, item: Hi::Item);
 
@@ -423,7 +446,7 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     /// # Contract: `skip(n)` ≡ `n` unrecorded window advances
     ///
     /// ```
-    /// use memento_core::traits::HhhAlgorithm;
+    /// use memento_core::traits::{HhhAlgorithm, HhhQuery};
     /// use memento_core::HMemento;
     /// use memento_hierarchy::{Prefix1D, SrcHierarchy};
     ///
@@ -443,8 +466,8 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     /// }
     /// let subnet = Prefix1D::new(u32::from_be_bytes([10, 0, 0, 0]), 8);
     /// assert_eq!(
-    ///     HhhAlgorithm::<SrcHierarchy>::estimate(&bulk, &subnet),
-    ///     HhhAlgorithm::<SrcHierarchy>::estimate(&per_packet, &subnet),
+    ///     HhhQuery::<SrcHierarchy>::estimate(&bulk, &subnet),
+    ///     HhhQuery::<SrcHierarchy>::estimate(&per_packet, &subnet),
     /// );
     /// assert_eq!(bulk.processed(), per_packet.processed());
     /// ```
@@ -477,18 +500,8 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
         }
     }
 
-    /// Estimated frequency of a prefix over the algorithm's measurement
-    /// scope (window or interval), in packets.
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64;
-
-    /// The approximate HHH set for threshold `θ ∈ (0, 1)`.
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix>;
-
     /// Approximate heap footprint of the algorithm state in bytes.
     fn space_bytes(&self) -> usize;
-
-    /// Total packets processed so far.
-    fn processed(&self) -> u64;
 
     /// True for interval (landmark) algorithms — MST, RHHH — whose
     /// measurement restarts at interval boundaries; sliding-window
@@ -515,7 +528,7 @@ pub trait HhhAlgorithm<Hi: Hierarchy> {
     }
 }
 
-impl<Hi: Hierarchy> HhhAlgorithm<Hi> for HMemento<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for HMemento<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -523,6 +536,49 @@ where
         "h-memento"
     }
 
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        HMemento::estimate(self, prefix)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        HMemento::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        HMemento::processed(self)
+    }
+
+    /// Captures the candidate set with its frequency bounds plus the
+    /// `OUTPUT` parameters (`W`, sampling slack), preserving the live
+    /// candidate enumeration order so the frozen `output` is bit-for-bit
+    /// equal to the live one at any threshold.
+    fn freeze(&self) -> Option<FrozenHhh<Hi>> {
+        let memento = self.as_memento();
+        let candidates = memento.tracked_keys();
+        let bounds = candidates
+            .iter()
+            .map(|p| (*p, (memento.upper_bound(p), memento.lower_bound(p))))
+            .collect();
+        Some(FrozenHhh::capture(
+            HhhQuery::<Hi>::name(self),
+            self.hierarchy().clone(),
+            self.window(),
+            self.sampling_slack(),
+            candidates,
+            bounds,
+            // Absent prefixes get the fill-state-dependent upper slack and
+            // a zero lower bound (no overflows recorded).
+            memento.untracked_estimate(),
+            0.0,
+            HMemento::processed(self),
+        ))
+    }
+}
+
+impl<Hi: Hierarchy> HhhAlgorithm<Hi> for HMemento<Hi>
+where
+    Hi::Prefix: Hash,
+{
     #[inline]
     fn update(&mut self, item: Hi::Item) {
         HMemento::update(self, item);
@@ -535,19 +591,7 @@ where
         HMemento::skip(self, n);
     }
 
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        HMemento::estimate(self, prefix)
-    }
-
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        HMemento::output(self, theta)
-    }
-
     fn space_bytes(&self) -> usize {
         self.as_memento().space_bytes()
-    }
-
-    fn processed(&self) -> u64 {
-        HMemento::processed(self)
     }
 }

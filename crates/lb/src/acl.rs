@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
+use memento_core::WindowQuery;
 use memento_hierarchy::Prefix1D;
+use memento_sketches::ExactWindow;
 
 /// Action applied to a matching source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,19 +28,23 @@ pub enum AclAction {
     },
 }
 
-#[derive(Debug, Clone, Default)]
-struct RateState {
-    admitted: u64,
-    window_start: u64,
-}
-
 /// A set of subnet ACL rules with longest-prefix-match lookup.
+///
+/// Rate-limit rules are enforced over a *sliding* window of proxy requests
+/// (PR 7): each rate-limited prefix keeps an [`ExactWindow`] of its admitted
+/// requests over the last `window` evaluations, advanced to the current
+/// evaluation position with the closed-form `skip(n)` and read through the
+/// [`WindowQuery`] surface — the same read-only trait the measurement
+/// engines and snapshot readers answer. A burst therefore cannot double its
+/// budget by straddling a tumbling-window boundary.
 #[derive(Debug, Clone, Default)]
 pub struct AclTable {
     /// Rules indexed by prefix (byte-granular lengths only).
     rules: HashMap<Prefix1D, AclAction>,
-    /// Rate-limit bookkeeping per rate-limited prefix.
-    rate_state: HashMap<Prefix1D, RateState>,
+    /// Sliding record of admitted requests per rate-limited prefix, each
+    /// covering the `window − 1` evaluations before the current one (the
+    /// current request completes the `window`-request span).
+    rate_windows: HashMap<Prefix1D, ExactWindow<Prefix1D>>,
     /// Requests evaluated so far (drives the rate-limit windows).
     evaluated: u64,
 }
@@ -66,7 +72,7 @@ impl AclTable {
 
     /// Removes a rule; returns whether one existed.
     pub fn remove(&mut self, prefix: &Prefix1D) -> bool {
-        self.rate_state.remove(prefix);
+        self.rate_windows.remove(prefix);
         self.rules.remove(prefix).is_some()
     }
 
@@ -95,7 +101,8 @@ impl AclTable {
 
     /// Evaluates a request from `src`: returns the action to apply, or `None`
     /// when the request is admitted. Rate-limit rules admit up to their
-    /// budget per window and report `Some(RateLimit…)` for the excess.
+    /// budget over the *sliding* window ending at this request and report
+    /// `Some(RateLimit…)` for the excess.
     pub fn evaluate(&mut self, src: u32) -> Option<AclAction> {
         self.evaluated += 1;
         let (prefix, action) = self.matching_rule(src)?;
@@ -105,19 +112,30 @@ impl AclTable {
                 max_per_window,
                 window,
             } => {
-                let evaluated = self.evaluated;
-                let state = self.rate_state.entry(prefix).or_insert_with(|| RateState {
-                    admitted: 0,
-                    window_start: evaluated,
-                });
-                if evaluated - state.window_start >= window {
-                    state.window_start = evaluated;
-                    state.admitted = 0;
+                // The window covers this request plus the `window − 1`
+                // evaluations before it.
+                let lookback = (window as usize).saturating_sub(1).max(1);
+                let win = self
+                    .rate_windows
+                    .entry(prefix)
+                    .or_insert_with(|| ExactWindow::new(lookback));
+                // Catch the window up over the evaluations this prefix did
+                // not participate in (closed-form advance, not a walk).
+                let behind = self.evaluated - 1 - win.processed();
+                if behind > 0 {
+                    win.skip(behind);
                 }
-                if state.admitted < max_per_window {
-                    state.admitted += 1;
+                // Read through the same query surface the measurement
+                // engines answer.
+                let query: &dyn WindowQuery<Prefix1D> = win;
+                let admit = query.estimate(&prefix) < max_per_window as f64;
+                if admit {
+                    // Record the admitted request at the current position.
+                    win.add(prefix);
                     None
                 } else {
+                    // The denied request still occupies a stream position.
+                    win.skip(1);
                     Some(action)
                 }
             }
@@ -174,8 +192,35 @@ mod tests {
         }
         assert_eq!(admitted, 3);
         assert_eq!(limited, 7);
-        // Next window: budget refills.
+        // Sliding window: the 11th evaluation no longer covers the first
+        // admission, so a budget slot has freed up.
         assert_eq!(acl.evaluate(addr(20, 5, 5, 5)), None);
+    }
+
+    #[test]
+    fn rate_limit_window_slides_instead_of_tumbling() {
+        // A burst straddling what used to be a tumbling-window boundary must
+        // not get double budget: with max 2 per 6-request window, 12
+        // back-to-back requests admit at most 2 in ANY 6-request span.
+        let mut acl = AclTable::new();
+        acl.insert(
+            Prefix1D::new(addr(21, 0, 0, 0), 8),
+            AclAction::RateLimit {
+                max_per_window: 2,
+                window: 6,
+            },
+        );
+        let admissions: Vec<bool> = (0..12)
+            .map(|_| acl.evaluate(addr(21, 1, 1, 1)).is_none())
+            .collect();
+        for span in admissions.windows(6) {
+            let in_span = span.iter().filter(|&&a| a).count();
+            assert!(
+                in_span <= 2,
+                "over-admission in a sliding span: {admissions:?}"
+            );
+        }
+        assert_eq!(admissions.iter().filter(|&&a| a).count(), 4);
     }
 
     #[test]

@@ -16,38 +16,32 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use memento_core::{HMemento, Memento};
+use memento_core::{HMemento, HhhQuery, Memento};
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 
 use crate::message::{Report, ReportPayload};
 
 /// The controller-side interface the network simulator and the mitigation
-/// loop drive: ingest reports, answer prefix queries. Implemented by the
-/// D-H-Memento controller and the idealized Aggregation baseline, so
-/// consumers hold one `Box<dyn HhhController<Hi>>` instead of dispatching
-/// over an enum of concrete controllers.
-pub trait HhhController<Hi: Hierarchy>: std::fmt::Debug
+/// loop drive: ingest reports, answer prefix queries. The read surface is
+/// the workspace-wide [`HhhQuery`] trait (PR 7) — `name`, `estimate`,
+/// `output`, `processed` — so a controller can be queried interchangeably
+/// with any single-device or sharded HHH engine; this trait adds only the
+/// ingest side and the mitigation-specific point estimate. Consumers hold
+/// one `Box<dyn HhhController<Hi>>` instead of dispatching over an enum of
+/// concrete controllers.
+pub trait HhhController<Hi: Hierarchy>: HhhQuery<Hi> + std::fmt::Debug
 where
     Hi::Prefix: Hash,
 {
-    /// Short stable name used in output and diagnostics.
-    fn name(&self) -> &'static str;
-
     /// Ingests one report from a measurement point.
     fn receive(&mut self, report: &Report<Hi::Item>);
 
-    /// Estimated network-wide window frequency of a prefix (upper bound).
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64;
-
     /// Approximately unbiased point estimate of a prefix's network-wide
     /// window frequency (what threshold-based mitigation compares against).
-    /// Defaults to [`estimate`](Self::estimate) for exact controllers.
+    /// Defaults to [`estimate`](HhhQuery::estimate) for exact controllers.
     fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
         self.estimate(prefix)
     }
-
-    /// The network-wide HHH set for threshold `θ`.
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix>;
 }
 
 /// Network-wide heavy-hitters controller (D-Memento).
@@ -189,7 +183,7 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhController<Hi> for DHMementoController<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for DHMementoController<Hi>
 where
     Hi::Prefix: Hash,
 {
@@ -197,20 +191,29 @@ where
         "d-h-memento"
     }
 
-    fn receive(&mut self, report: &Report<Hi::Item>) {
-        DHMementoController::receive(self, report);
-    }
-
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
         DHMementoController::estimate(self, prefix)
     }
 
-    fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        DHMementoController::point_estimate(self, prefix)
-    }
-
     fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
         DHMementoController::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        DHMementoController::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhController<Hi> for DHMementoController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn receive(&mut self, report: &Report<Hi::Item>) {
+        DHMementoController::receive(self, report);
+    }
+
+    fn point_estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        DHMementoController::point_estimate(self, prefix)
     }
 }
 
@@ -227,6 +230,9 @@ where
     per_point: HashMap<usize, HashMap<Hi::Prefix, u64>>,
     /// Sum over points (kept incrementally).
     global: HashMap<Hi::Prefix, i64>,
+    /// Total packets covered by all received reports (the network-wide
+    /// stream position the controller has caught up to).
+    covered: u64,
 }
 
 impl<Hi: Hierarchy> AggregationController<Hi>
@@ -241,6 +247,7 @@ where
             window,
             per_point: HashMap::new(),
             global: HashMap::new(),
+            covered: 0,
         }
     }
 
@@ -270,6 +277,12 @@ where
         }
         self.global.retain(|_, v| *v > 0);
         self.per_point.insert(report.point, expanded);
+        self.covered += report.covered_packets;
+    }
+
+    /// Total packets covered by all received reports.
+    pub fn processed(&self) -> u64 {
+        self.covered
     }
 
     /// Estimated network-wide window frequency of a prefix (sum of the latest
@@ -309,16 +322,12 @@ where
     }
 }
 
-impl<Hi: Hierarchy> HhhController<Hi> for AggregationController<Hi>
+impl<Hi: Hierarchy> HhhQuery<Hi> for AggregationController<Hi>
 where
     Hi::Prefix: Hash,
 {
     fn name(&self) -> &'static str {
         "aggregation"
-    }
-
-    fn receive(&mut self, report: &Report<Hi::Item>) {
-        AggregationController::receive(self, report);
     }
 
     fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
@@ -327,6 +336,19 @@ where
 
     fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
         AggregationController::output(self, theta)
+    }
+
+    fn processed(&self) -> u64 {
+        AggregationController::processed(self)
+    }
+}
+
+impl<Hi: Hierarchy> HhhController<Hi> for AggregationController<Hi>
+where
+    Hi::Prefix: Hash,
+{
+    fn receive(&mut self, report: &Report<Hi::Item>) {
+        AggregationController::receive(self, report);
     }
 }
 

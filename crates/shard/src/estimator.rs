@@ -1,13 +1,15 @@
 //! Hash-partitioned multi-core engine for [`SlidingWindowEstimator`]s.
 
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use memento_core::traits::SlidingWindowEstimator;
+use memento_core::traits::{SlidingWindowEstimator, WindowQuery};
 use memento_core::{Memento, Wcss};
 use memento_sketches::{fasthash, ExactWindow};
 
 use crate::router::Router;
+use crate::snapshot::{EngineSnapshot, EstimatorHub, PublishPolicy, SnapshotHub, SnapshotReader};
 use crate::worker::ShardWorker;
 use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
 
@@ -40,15 +42,25 @@ pub type BoxedEstimator<K> = Box<dyn SlidingWindowEstimator<K> + Send>;
 ///
 /// Updates travel to the workers as gap-stamped batches over bounded
 /// channels (reusing each estimator's `update_batch` fast path — for
-/// Memento, the geometric skip sampling of §5); queries piggyback on the
-/// same FIFO, so a query observes every update enqueued before it without
-/// any locking around the algorithm state.
+/// Memento, the geometric skip sampling of §5).
+///
+/// **Queries are served from published snapshots** (PR 7): per the
+/// [`PublishPolicy`], the engine periodically freezes every shard into an
+/// immutable [`EngineSnapshot`] that the engine's own
+/// [`WindowQuery`] methods — and any number of wait-free
+/// [`SnapshotReader`] handles ([`Self::reader`]) — answer from at memory
+/// speed. With the default `on_query = true` policy the engine's own
+/// queries force a publication first, reproducing the historical
+/// flush-then-read semantics bit-for-bit; readers observe bounded
+/// staleness (≤ one publication interval) instead. The old FIFO piggyback
+/// query path survives only as the `#[doc(hidden)]`
+/// [`Self::query_via_fifo`] escape hatch for differential tests.
 ///
 /// The engine itself implements [`SlidingWindowEstimator`], so every
 /// generic driver in the workspace — the figure harnesses, the detection
 /// disciplines, the flood-mitigation scenario — can run sharded without
 /// modification.
-pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + 'static> {
+pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + Sync + 'static> {
     name: &'static str,
     workers: Vec<ShardWorker<BoxedEstimator<K>>>,
     /// Gap-stamped buffers and position bookkeeping. Behind a mutex so the
@@ -58,12 +70,20 @@ pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + 'static> {
     state: Mutex<Router<K>>,
     /// Ship a shard's buffer once it holds this many keys.
     flush_threshold: usize,
+    /// Snapshot publication cadence and on-query behaviour.
+    policy: PublishPolicy,
+    /// Batches shipped since the last publication (mutated only under the
+    /// router lock; atomic so `&self` query methods can read it).
+    shipped: AtomicUsize,
+    /// Snapshot assembly and the epoch double buffer, shared with every
+    /// [`SnapshotReader`] handle.
+    hub: Arc<EstimatorHub<K>>,
     /// Worst per-shard error bound, cached at construction (constant per
     /// configuration).
     error_bound: f64,
 }
 
-impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
+impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
     /// Creates a sharded engine with `shards` workers, each owning the
     /// estimator built by `factory(shard_index)`. Every per-shard estimator
     /// must be configured with the **full global window `W`** — the router
@@ -71,7 +91,9 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
     /// [`skip`](SlidingWindowEstimator::skip).
     ///
     /// `name` is the stable identifier reported through
-    /// [`SlidingWindowEstimator::name`] (bench CSV/JSON output).
+    /// [`WindowQuery::name`] (bench CSV/JSON output). The engine starts
+    /// under [`PublishPolicy::default`]; override with
+    /// [`Self::with_policy`].
     ///
     /// # Panics
     /// Panics when `shards` is zero or a factory-built estimator reports
@@ -102,11 +124,18 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
                 estimator,
             ));
         }
+        let hub = Arc::new(SnapshotHub::new(
+            shards,
+            Box::new(move |epoch, parts| EngineSnapshot::assemble(epoch, name, error_bound, parts)),
+        ));
         ShardedEstimator {
             name,
             workers,
             state: Mutex::new(Router::new(shards)),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            policy: PublishPolicy::default(),
+            shipped: AtomicUsize::new(0),
+            hub,
             error_bound,
         }
     }
@@ -150,8 +179,32 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
         self.workers.len()
     }
 
+    /// Sets the snapshot [`PublishPolicy`] (builder style, for use at
+    /// construction: `ShardedEstimator::memento(..).with_policy(..)`).
+    pub fn with_policy(mut self, policy: PublishPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine's current snapshot [`PublishPolicy`].
+    pub fn policy(&self) -> PublishPolicy {
+        self.policy
+    }
+
+    /// A wait-free handle answering [`WindowQuery`] from the latest
+    /// published snapshot: cheap to clone, `Send + Sync`, stale by at most
+    /// one publication interval, and never touching the worker FIFOs.
+    pub fn reader(&self) -> SnapshotReader<K> {
+        SnapshotReader::new(Arc::clone(&self.hub), self.name, self.error_bound)
+    }
+
     /// Overrides the per-shard batch size at which buffered keys are shipped
     /// to the workers (default [`DEFAULT_FLUSH_THRESHOLD`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure the query plane through `with_policy(PublishPolicy { .. })`; \
+                the ship batch size is an internal knob"
+    )]
     pub fn set_flush_threshold(&mut self, threshold: usize) {
         assert!(threshold > 0, "flush threshold must be positive");
         self.flush_threshold = threshold;
@@ -183,49 +236,144 @@ impl<K: Eq + Hash + Clone + Send + 'static> ShardedEstimator<K> {
                 est.skip(tail);
             }
         }));
+        self.shipped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Flushes every shard's pending buffer and advances every shard to the
-    /// current global stream position (queries call this so that they
-    /// observe all preceding updates *and* correctly positioned windows).
-    pub fn flush(&self) {
+    /// Ships every shard's pending buffer and advances every shard to the
+    /// current global stream position, without publishing a snapshot.
+    fn ship_all(&self) {
         let mut state = self.state.lock().expect("router state poisoned");
         for shard in 0..self.workers.len() {
             self.ship_shard(&mut state, shard);
         }
     }
 
-    /// Flushes and position-syncs a single shard.
-    fn flush_shard(&self, shard: usize) {
-        let mut state = self.state.lock().expect("router state poisoned");
-        self.ship_shard(&mut state, shard);
+    /// Publishes a snapshot if the periodic cadence is due.
+    fn maybe_publish(&self, state: &mut Router<K>) {
+        if self.policy.every_batches > 0
+            && self.shipped.load(Ordering::Relaxed) >= self.policy.every_batches
+        {
+            self.publish_epoch(state);
+        }
     }
 
-    /// Runs a query on one shard, after everything enqueued before it.
-    fn query_shard<R, F>(&self, shard: usize, f: F) -> R
+    /// Ships all buffers (position sync), allocates the next epoch and
+    /// enqueues one freeze job per worker FIFO. Epochs are allocated under
+    /// the router lock, so epoch order equals enqueue order on every FIFO —
+    /// which is what makes them complete in order at the hub.
+    fn publish_epoch(&self, state: &mut Router<K>) -> u64 {
+        for shard in 0..self.workers.len() {
+            self.ship_shard(state, shard);
+        }
+        self.shipped.store(0, Ordering::Relaxed);
+        let epoch = self.hub.begin_epoch();
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let hub = Arc::clone(&self.hub);
+            worker.send(Box::new(move |est| hub.deliver(epoch, shard, est.freeze())));
+        }
+        epoch
+    }
+
+    /// Publishes a fresh snapshot *now* — ships all pending buffers,
+    /// freezes every shard at the current global position, waits for the
+    /// merged snapshot to appear in the double buffer — and returns its
+    /// epoch. This is the explicit synchronization point: after
+    /// `publish_now` returns, every reader observes a snapshot at least
+    /// this fresh.
+    pub fn publish_now(&self) -> u64 {
+        let epoch = {
+            let mut state = self.state.lock().expect("router state poisoned");
+            self.publish_epoch(&mut state)
+        };
+        self.hub.wait_published(epoch);
+        epoch
+    }
+
+    /// Flushes every shard's pending buffer and publishes a snapshot.
+    #[deprecated(since = "0.2.0", note = "use `publish_now()`")]
+    pub fn flush(&self) {
+        self.publish_now();
+    }
+
+    /// The historical FIFO piggyback query path: ships all pending buffers,
+    /// then runs `f` on shard `shard`'s worker thread after everything
+    /// enqueued before it. Kept (hidden) so differential tests can compare
+    /// snapshot answers against flush-then-FIFO answers; everything else
+    /// should go through [`WindowQuery`] or [`Self::reader`].
+    #[doc(hidden)]
+    pub fn query_via_fifo<R, F>(&self, shard: usize, f: F) -> R
     where
         R: Send + 'static,
         F: FnOnce(&mut BoxedEstimator<K>) -> R + Send + 'static,
     {
+        self.ship_all();
         self.workers[shard].call(f)
+    }
+
+    /// The snapshot every query method answers from: the latest published
+    /// one, after forcing a publication when the policy says queries must
+    /// observe everything ingested so far (or when nothing was published
+    /// yet).
+    fn read_snapshot(&self) -> Arc<EngineSnapshot<K>> {
+        if self.policy.on_query || self.hub.latest().is_none() {
+            self.publish_now();
+        }
+        self.hub.latest().expect("publish_now published an epoch")
     }
 }
 
-impl<K: Eq + Hash + Clone + Send + 'static> std::fmt::Debug for ShardedEstimator<K> {
+impl<K: Eq + Hash + Clone + Send + Sync + 'static> std::fmt::Debug for ShardedEstimator<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEstimator")
             .field("name", &self.name)
             .field("shards", &self.workers.len())
             .field("flush_threshold", &self.flush_threshold)
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
 }
 
-impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for ShardedEstimator<K> {
+impl<K: Eq + Hash + Clone + Send + Sync + 'static> WindowQuery<K> for ShardedEstimator<K> {
     fn name(&self) -> &'static str {
         self.name
     }
 
+    /// Answered from the latest published [`EngineSnapshot`] (the owning
+    /// shard's frozen summary — same key routing as ingest). Under the
+    /// default [`PublishPolicy::on_query`] a publication is forced first,
+    /// so the answer reflects every preceding update exactly like the old
+    /// flush-then-FIFO path; with `on_query = false` the answer is stale by
+    /// at most one publication interval.
+    fn estimate(&self, key: &K) -> f64 {
+        self.read_snapshot().estimate(key)
+    }
+
+    /// Answered from the latest published [`EngineSnapshot`]: per-shard
+    /// sets concatenated in shard order, re-sorted by descending estimate.
+    /// Same staleness semantics as [`Self::estimate`].
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        self.read_snapshot().heavy_hitters(threshold)
+    }
+
+    /// Global stream position of the snapshot being read. Under the default
+    /// on-query publication this doubles as the drain barrier the
+    /// throughput harnesses rely on: the publication's freeze jobs run
+    /// after every shipped batch on every worker FIFO.
+    fn processed(&self) -> u64 {
+        self.read_snapshot().processed()
+    }
+
+    fn error_bound(&self) -> f64 {
+        // A flow lives entirely in one shard whose window spans the full
+        // global stream, so the merged per-flow error is the worst
+        // per-shard bound, not their sum.
+        self.error_bound
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send + Sync + 'static> SlidingWindowEstimator<K>
+    for ShardedEstimator<K>
+{
     fn update(&mut self, key: K) {
         // `&mut self` rules out concurrent queries, so holding the state
         // lock across a (possibly blocking) ship cannot deadlock.
@@ -233,6 +381,7 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
         let mut state = self.state.lock().expect("router state poisoned");
         if state.push(shard, key, self.flush_threshold) >= self.flush_threshold {
             self.ship_shard(&mut state, shard);
+            self.maybe_publish(&mut state);
         }
     }
 
@@ -259,6 +408,7 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
             for (key, &shard) in tile.iter().zip(&routes) {
                 if state.push(shard, key.clone(), self.flush_threshold) >= self.flush_threshold {
                     self.ship_shard(&mut state, shard);
+                    self.maybe_publish(&mut state);
                 }
             }
         }
@@ -277,48 +427,11 @@ impl<K: Eq + Hash + Clone + Send + 'static> SlidingWindowEstimator<K> for Sharde
         state.advance(n);
     }
 
-    fn estimate(&self, key: &K) -> f64 {
-        let shard = self.shard_of(key);
-        self.flush_shard(shard);
-        let key = key.clone();
-        self.query_shard(shard, move |est| est.estimate(&key))
-    }
-
-    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
-        self.flush();
-        let mut merged: Vec<(K, f64)> = Vec::new();
-        for shard in 0..self.workers.len() {
-            merged.extend(self.query_shard(shard, move |est| est.heavy_hitters(threshold)));
-        }
-        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        merged
-    }
-
     fn space_bytes(&self) -> usize {
-        self.flush();
+        self.ship_all();
         (0..self.workers.len())
-            .map(|shard| self.query_shard(shard, |est| est.space_bytes()))
+            .map(|shard| self.workers[shard].call(|est| est.space_bytes()))
             .sum()
-    }
-
-    /// Global stream position: after the flush every shard sits at the same
-    /// position (each window covers the whole combined stream), so this is
-    /// the maximum — not the sum — of the per-shard counts. Querying every
-    /// worker doubles as the drain barrier the throughput harnesses rely
-    /// on.
-    fn processed(&self) -> u64 {
-        self.flush();
-        (0..self.workers.len())
-            .map(|shard| self.query_shard(shard, |est| est.processed()))
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn error_bound(&self) -> f64 {
-        // A flow lives entirely in one shard whose window spans the full
-        // global stream, so the merged per-flow error is the worst
-        // per-shard bound, not their sum.
-        self.error_bound
     }
 }
 
@@ -425,6 +538,47 @@ mod tests {
             assert_eq!(sharded.estimate(&key), 0.0, "key {key} survived the skip");
         }
         assert_eq!(sharded.processed(), 2 * window as u64);
+    }
+
+    #[test]
+    fn reader_answers_without_engine_queries() {
+        // Periodic publication alone (no on-query publish) must hand the
+        // reader a usable snapshot with bounded staleness.
+        let mut sharded: ShardedEstimator<u64> =
+            ShardedEstimator::exact(2, 50_000).with_policy(PublishPolicy {
+                every_batches: 1,
+                on_query: false,
+            });
+        let reader = sharded.reader();
+        assert_eq!(reader.processed(), 0, "no snapshot before any publish");
+        let keys: Vec<u64> = (0..40_000u64).map(|i| i % 10).collect();
+        sharded.update_batch(&keys);
+        let epoch = sharded.publish_now();
+        assert!(epoch >= 1);
+        let snap = reader.latest().expect("published snapshot");
+        assert_eq!(snap.processed(), 40_000);
+        assert_eq!(reader.estimate(&3), 4_000.0);
+        // Clones share the hub and observe the same epochs.
+        let clone = reader.clone();
+        assert_eq!(
+            clone.latest().expect("shared snapshot").epoch(),
+            snap.epoch()
+        );
+    }
+
+    #[test]
+    fn snapshot_queries_match_fifo_queries() {
+        // The engine's snapshot-backed answers equal the historical FIFO
+        // piggyback path at the same point in the stream.
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::wcss(4, 128, 9_000);
+        let keys: Vec<u64> = (0..12_000u64).map(|i| (i * 31) % 257).collect();
+        sharded.update_batch(&keys);
+        for key in 0..257u64 {
+            let via_snapshot = sharded.estimate(&key);
+            let shard = fasthash::route(&key, sharded.shards());
+            let via_fifo = sharded.query_via_fifo(shard, move |est| est.estimate(&key));
+            assert_eq!(via_snapshot.to_bits(), via_fifo.to_bits());
+        }
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Hash-partitioned multi-core engine for [`HhhAlgorithm`]s.
 
-use std::collections::HashSet;
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use memento_core::traits::HhhAlgorithm;
+use memento_core::traits::{HhhAlgorithm, HhhQuery};
 use memento_core::HMemento;
 use memento_hierarchy::Hierarchy;
 use memento_sketches::fasthash;
 
 use crate::router::Router;
+use crate::snapshot::{HhhEngineSnapshot, HhhHub, HhhSnapshotReader, PublishPolicy, SnapshotHub};
 use crate::worker::ShardWorker;
 use crate::{DEFAULT_FLUSH_THRESHOLD, DEFAULT_QUEUE_DEPTH};
 
@@ -27,9 +28,9 @@ pub type BoxedHhh<Hi> = Box<dyn HhhAlgorithm<Hi> + Send>;
 /// (the D-Memento-style bulk window update). Unlike
 /// per-flow estimation, a *prefix* aggregates many items that may hash to
 /// different shards, so the merge is summation rather than routing:
-/// [`HhhAlgorithm::estimate`] sums the per-shard prefix estimates.
+/// [`HhhQuery::estimate`] sums the per-shard prefix estimates.
 ///
-/// [`HhhAlgorithm::output`] is re-derived for full-window shards: a shard
+/// [`HhhQuery::output`] is re-derived for full-window shards: a shard
 /// sees only ~`1/N` of the traffic but measures it against the full `W`, so
 /// a globally-`θ`-heavy prefix shows up in some shard at only `θ/N` of that
 /// shard's window — candidates are therefore collected at the per-shard
@@ -37,6 +38,19 @@ pub type BoxedHhh<Hi> = Box<dyn HhhAlgorithm<Hi> + Send>;
 /// bar using the summed (upper-bound) estimates, which filters the
 /// prefixes that cleared `θ/N` in their shard without being `θ`-heavy
 /// globally.
+///
+/// **Queries are served from published snapshots** (PR 7): per the
+/// [`PublishPolicy`], the engine periodically freezes every shard's
+/// candidate set with its frequency bounds into an immutable
+/// [`HhhEngineSnapshot`] that the engine's own [`HhhQuery`] methods — and
+/// any number of wait-free [`HhhSnapshotReader`] handles
+/// ([`Self::reader`]) — answer from without touching a worker FIFO. With
+/// the default `on_query = true` policy the engine's own queries force a
+/// publication first, reproducing the historical flush-then-read semantics
+/// bit-for-bit; readers observe bounded staleness (≤ one publication
+/// interval) instead. The old FIFO piggyback path survives only as the
+/// `#[doc(hidden)]` [`Self::query_via_fifo`] escape hatch for differential
+/// tests.
 pub struct ShardedHhh<Hi: Hierarchy + 'static> {
     name: &'static str,
     workers: Vec<ShardWorker<BoxedHhh<Hi>>>,
@@ -44,34 +58,41 @@ pub struct ShardedHhh<Hi: Hierarchy + 'static> {
     /// [`crate::ShardedEstimator`] for the locking rationale).
     state: Mutex<Router<Hi::Item>>,
     flush_threshold: usize,
+    /// Snapshot publication cadence and on-query behaviour.
+    policy: PublishPolicy,
+    /// Batches shipped since the last publication (mutated only under the
+    /// router lock; atomic so `&self` query methods can read it).
+    shipped: AtomicUsize,
+    /// Snapshot assembly and the epoch double buffer, shared with every
+    /// [`HhhSnapshotReader`] handle.
+    hub: Arc<HhhHub<Hi>>,
     /// Whether the inner algorithm has interval (landmark) semantics, cached
     /// at construction.
     interval: bool,
-    /// Global window size `W` (also each shard's window now), when known:
-    /// enables the `θ·W` re-validation of merged HHH outputs and the `θ/N`
-    /// per-shard candidate threshold.
-    window_total: Option<usize>,
 }
 
-impl<Hi: Hierarchy + 'static> ShardedHhh<Hi>
+impl<Hi: Hierarchy + Send + Sync + 'static> ShardedHhh<Hi>
 where
     Hi::Item: Send + 'static,
-    Hi::Prefix: Send + 'static,
+    Hi::Prefix: Send + Sync + 'static,
 {
     /// Creates a sharded HHH engine with `shards` workers, each owning the
     /// algorithm built by `factory(shard_index)`. Every per-shard algorithm
     /// must be configured with the **full global window `W`** — the router
     /// keeps it at the global stream position via
     /// [`skip`](HhhAlgorithm::skip). `window` is that global window size
-    /// when known; it enables [`output`](HhhAlgorithm::output)'s `θ/N`
+    /// when known; it enables [`output`](HhhQuery::output)'s `θ/N`
     /// candidate collection and `θ·W` re-validation — pass `None` only for
-    /// algorithms without a meaningful window.
+    /// algorithms without a meaningful window. The engine starts under
+    /// [`PublishPolicy::default`]; override with [`Self::with_policy`].
     ///
     /// # Panics
-    /// Panics when `shards` is zero or a factory-built algorithm reports
+    /// Panics when `shards` is zero, when a factory-built algorithm reports
     /// itself as not [`mergeable`](HhhAlgorithm::mergeable) — global-position
     /// sharded windows require algorithms whose `skip` can advance the
-    /// window over packets recorded elsewhere.
+    /// window over packets recorded elsewhere — or when it cannot
+    /// [`freeze`](HhhQuery::freeze) a snapshot summary (the query plane
+    /// serves every read from published snapshots).
     pub fn new<F>(name: &'static str, shards: usize, window: Option<usize>, mut factory: F) -> Self
     where
         F: FnMut(usize) -> BoxedHhh<Hi>,
@@ -88,6 +109,12 @@ where
                  it cannot be sharded",
                 algorithm.name()
             );
+            assert!(
+                algorithm.freeze().is_some(),
+                "{} cannot freeze a snapshot summary; the sharded query plane serves \
+                 every read from published snapshots and requires HhhQuery::freeze",
+                algorithm.name()
+            );
             interval = algorithm.is_interval();
             workers.push(ShardWorker::spawn(
                 format!("{name}-shard-{i}"),
@@ -95,13 +122,19 @@ where
                 algorithm,
             ));
         }
+        let hub = Arc::new(SnapshotHub::new(
+            shards,
+            Box::new(move |epoch, parts| HhhEngineSnapshot::assemble(epoch, name, window, parts)),
+        ));
         ShardedHhh {
             name,
             workers,
             state: Mutex::new(Router::new(shards)),
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            policy: PublishPolicy::default(),
+            shipped: AtomicUsize::new(0),
+            hub,
             interval,
-            window_total: window,
         }
     }
 
@@ -119,7 +152,6 @@ where
         seed: u64,
     ) -> Self
     where
-        Hi: Send + 'static,
         Hi::Prefix: Hash,
     {
         assert!(shards > 0, "shard count must be positive");
@@ -139,6 +171,25 @@ where
     /// Number of shards (worker threads).
     pub fn shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Sets the snapshot [`PublishPolicy`] (builder style, for use at
+    /// construction: `ShardedHhh::h_memento(..).with_policy(..)`).
+    pub fn with_policy(mut self, policy: PublishPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine's current snapshot [`PublishPolicy`].
+    pub fn policy(&self) -> PublishPolicy {
+        self.policy
+    }
+
+    /// A wait-free handle answering [`HhhQuery`] from the latest published
+    /// snapshot: cheap to clone, `Send + Sync`, stale by at most one
+    /// publication interval, and never touching the worker FIFOs.
+    pub fn reader(&self) -> HhhSnapshotReader<Hi> {
+        HhhSnapshotReader::new(Arc::clone(&self.hub), self.name)
     }
 
     /// The shard owning `item`: the same [`fasthash::route`] helper as the
@@ -162,26 +213,90 @@ where
                 alg.skip(tail);
             }
         }));
+        self.shipped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Flushes every shard's pending buffer and advances every shard to the
-    /// current global stream position.
-    pub fn flush(&self) {
+    /// Ships every shard's pending buffer and advances every shard to the
+    /// current global stream position, without publishing a snapshot.
+    fn ship_all(&self) {
         let mut state = self.state.lock().expect("router state poisoned");
         for shard in 0..self.workers.len() {
             self.ship_shard(&mut state, shard);
         }
     }
 
-    /// Sum of the per-shard estimates for a prefix (callers flush first).
-    fn summed_estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        self.workers
-            .iter()
-            .map(|worker| {
-                let p = *prefix;
-                worker.call(move |alg| alg.estimate(&p))
-            })
-            .sum()
+    /// Publishes a snapshot if the periodic cadence is due.
+    fn maybe_publish(&self, state: &mut Router<Hi::Item>) {
+        if self.policy.every_batches > 0
+            && self.shipped.load(Ordering::Relaxed) >= self.policy.every_batches
+        {
+            self.publish_epoch(state);
+        }
+    }
+
+    /// Ships all buffers (position sync), allocates the next epoch and
+    /// enqueues one freeze job per worker FIFO (see
+    /// `ShardedEstimator::publish_epoch` for the ordering argument).
+    fn publish_epoch(&self, state: &mut Router<Hi::Item>) -> u64 {
+        for shard in 0..self.workers.len() {
+            self.ship_shard(state, shard);
+        }
+        self.shipped.store(0, Ordering::Relaxed);
+        let epoch = self.hub.begin_epoch();
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let hub = Arc::clone(&self.hub);
+            worker.send(Box::new(move |alg| {
+                hub.deliver(
+                    epoch,
+                    shard,
+                    alg.freeze()
+                        .expect("freeze capability checked at construction"),
+                );
+            }));
+        }
+        epoch
+    }
+
+    /// Publishes a fresh snapshot *now* — ships all pending buffers,
+    /// freezes every shard at the current global position, waits for the
+    /// merged snapshot to appear in the double buffer — and returns its
+    /// epoch.
+    pub fn publish_now(&self) -> u64 {
+        let epoch = {
+            let mut state = self.state.lock().expect("router state poisoned");
+            self.publish_epoch(&mut state)
+        };
+        self.hub.wait_published(epoch);
+        epoch
+    }
+
+    /// Flushes every shard's pending buffer and publishes a snapshot.
+    #[deprecated(since = "0.2.0", note = "use `publish_now()`")]
+    pub fn flush(&self) {
+        self.publish_now();
+    }
+
+    /// The historical FIFO piggyback query path: ships all pending buffers,
+    /// then runs `f` on shard `shard`'s worker thread after everything
+    /// enqueued before it. Kept (hidden) for differential tests; everything
+    /// else should go through [`HhhQuery`] or [`Self::reader`].
+    #[doc(hidden)]
+    pub fn query_via_fifo<R, F>(&self, shard: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut BoxedHhh<Hi>) -> R + Send + 'static,
+    {
+        self.ship_all();
+        self.workers[shard].call(f)
+    }
+
+    /// The snapshot every query method answers from (see
+    /// `ShardedEstimator::read_snapshot`).
+    fn read_snapshot(&self) -> Arc<HhhEngineSnapshot<Hi>> {
+        if self.policy.on_query || self.hub.latest().is_none() {
+            self.publish_now();
+        }
+        self.hub.latest().expect("publish_now published an epoch")
     }
 }
 
@@ -191,24 +306,58 @@ impl<Hi: Hierarchy + 'static> std::fmt::Debug for ShardedHhh<Hi> {
             .field("name", &self.name)
             .field("shards", &self.workers.len())
             .field("flush_threshold", &self.flush_threshold)
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
 }
 
-impl<Hi: Hierarchy + 'static> HhhAlgorithm<Hi> for ShardedHhh<Hi>
+impl<Hi: Hierarchy + Send + Sync + 'static> HhhQuery<Hi> for ShardedHhh<Hi>
 where
     Hi::Item: Send + 'static,
-    Hi::Prefix: Send + 'static,
+    Hi::Prefix: Send + Sync + 'static,
 {
     fn name(&self) -> &'static str {
         self.name
     }
 
+    /// A prefix's traffic spreads over every shard, so the network-wide view
+    /// is the *sum* of the per-shard estimates — answered from the latest
+    /// published [`HhhEngineSnapshot`]. Under the default
+    /// [`PublishPolicy::on_query`] a publication is forced first, so the
+    /// answer reflects every preceding update exactly like the old
+    /// flush-then-FIFO path; with `on_query = false` it is stale by at most
+    /// one publication interval.
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.read_snapshot().estimate(prefix)
+    }
+
+    /// The union of the per-shard HHH sets collected at the per-shard
+    /// threshold `θ/N`, re-validated against the global `θ·W` threshold
+    /// (deduplicated, in prefix order) — answered from the latest published
+    /// snapshot, with the same staleness semantics as
+    /// [`Self::estimate`](HhhQuery::estimate).
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        self.read_snapshot().output(theta)
+    }
+
+    /// Global stream position of the snapshot being read (doubles as the
+    /// drain barrier under the default on-query publication).
+    fn processed(&self) -> u64 {
+        self.read_snapshot().processed()
+    }
+}
+
+impl<Hi: Hierarchy + Send + Sync + 'static> HhhAlgorithm<Hi> for ShardedHhh<Hi>
+where
+    Hi::Item: Send + 'static,
+    Hi::Prefix: Send + Sync + 'static,
+{
     fn update(&mut self, item: Hi::Item) {
         let shard = self.shard_of(&item);
         let mut state = self.state.lock().expect("router state poisoned");
         if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
             self.ship_shard(&mut state, shard);
+            self.maybe_publish(&mut state);
         }
     }
 
@@ -228,6 +377,7 @@ where
             for (&item, &shard) in tile.iter().zip(&routes) {
                 if state.push(shard, item, self.flush_threshold) >= self.flush_threshold {
                     self.ship_shard(&mut state, shard);
+                    self.maybe_publish(&mut state);
                 }
             }
         }
@@ -245,80 +395,12 @@ where
         state.advance(n);
     }
 
-    /// A prefix's traffic spreads over every shard, so the network-wide view
-    /// is the *sum* of the per-shard estimates.
-    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
-        self.flush();
-        self.summed_estimate(prefix)
-    }
-
-    /// The union of the per-shard HHH sets collected at the per-shard
-    /// threshold `θ/N`, re-validated against the global `θ·W` threshold
-    /// (deduplicated, in prefix order).
-    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
-        self.flush();
-        // Each shard measures ~1/N of the traffic against the full window
-        // W, so a globally-θ-heavy prefix reaches only ~θ/N of a shard's
-        // window: collect candidates at θ/N so no global HHH is missed —
-        // but only when the window is known and the θ·W re-validation
-        // below can filter the widened union. Without a window, pass θ
-        // through unchanged: no over-reporting, at the cost of possible
-        // false negatives for prefixes split across shards.
-        let per_shard_theta = if self.window_total.is_some() {
-            theta / self.workers.len() as f64
-        } else {
-            theta
-        };
-        let mut seen: HashSet<Hi::Prefix> = HashSet::new();
-        for worker in &self.workers {
-            seen.extend(worker.call(move |alg| alg.output(per_shard_theta)));
-        }
-        let mut merged: Vec<Hi::Prefix> = seen.into_iter().collect();
-        // Keep a candidate only when the summed (upper-bound) estimate
-        // clears the global θ·W bar — upper bounds never undercount, so no
-        // legitimate HHH is dropped, while prefixes that cleared θ/N in
-        // their shard without being θ-heavy globally are filtered. One
-        // round-trip per worker estimates every candidate at once.
-        if let Some(window) = self.window_total {
-            let floor = theta * window as f64;
-            let mut totals = vec![0.0f64; merged.len()];
-            for worker in &self.workers {
-                let candidates = merged.clone();
-                let partial = worker.call(move |alg| {
-                    candidates
-                        .iter()
-                        .map(|p| alg.estimate(p))
-                        .collect::<Vec<f64>>()
-                });
-                for (total, part) in totals.iter_mut().zip(partial) {
-                    *total += part;
-                }
-            }
-            let mut keep = totals.iter().map(|t| *t >= floor);
-            merged.retain(|_| keep.next().unwrap_or(false));
-        }
-        merged.sort_unstable();
-        merged
-    }
-
     fn space_bytes(&self) -> usize {
-        self.flush();
+        self.ship_all();
         self.workers
             .iter()
             .map(|w| w.call(|alg| alg.space_bytes()))
             .sum()
-    }
-
-    /// Global stream position: after the flush every shard sits at the same
-    /// position, so this is the maximum — not the sum — of the per-shard
-    /// counts (which doubles as the drain barrier).
-    fn processed(&self) -> u64 {
-        self.flush();
-        self.workers
-            .iter()
-            .map(|w| w.call(|alg| alg.processed()))
-            .max()
-            .unwrap_or(0)
     }
 
     fn is_interval(&self) -> bool {
@@ -326,7 +408,7 @@ where
     }
 
     fn reset_interval(&mut self) {
-        self.flush();
+        self.ship_all();
         for worker in &self.workers {
             worker.send(Box::new(|alg| alg.reset_interval()));
         }
@@ -427,10 +509,31 @@ mod tests {
         }
         let p = Prefix1D::new(0, 8);
         assert_eq!(
-            HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p),
+            HhhQuery::<SrcHierarchy>::estimate(&sharded, &p),
             HMemento::estimate(&single, &p)
         );
         assert_eq!(sharded.processed(), single.processed());
+    }
+
+    #[test]
+    fn reader_answers_hhh_queries_without_the_engine() {
+        let window = 6_000;
+        let mut sharded = ShardedHhh::h_memento(SrcHierarchy, 2, 1_024, window, 1.0, 0.01, 11)
+            .with_policy(PublishPolicy {
+                every_batches: 1,
+                on_query: false,
+            });
+        let reader = sharded.reader();
+        assert_eq!(reader.processed(), 0, "no snapshot before any publish");
+        let items: Vec<u32> = (0..window as u32)
+            .map(|i| addr(10, (i % 199) as u8, (i % 251) as u8, (i % 13) as u8))
+            .collect();
+        sharded.update_batch(&items);
+        sharded.publish_now();
+        let p8 = Prefix1D::new(addr(10, 0, 0, 0), 8);
+        assert_eq!(reader.processed(), window as u64);
+        assert!(reader.estimate(&p8) >= window as f64 * 0.7);
+        assert!(reader.output(0.5).contains(&p8));
     }
 
     #[test]
@@ -457,13 +560,13 @@ mod tests {
         let p8 = Prefix1D::new(addr(42, 0, 0, 0), 8);
         // Level sampling (one of H prefixes per packet) adds noise around
         // the true count W; the point here is only "clearly hot".
-        assert!(HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p8) >= 0.7 * window as f64);
+        assert!(HhhQuery::<SrcHierarchy>::estimate(&sharded, &p8) >= 0.7 * window as f64);
         // Two full windows of unrelated traffic.
         let cold: Vec<u32> = (0..2 * window as u32)
             .map(|i| addr(200 + (i % 37) as u8, (i % 251) as u8, (i % 7) as u8, 1))
             .collect();
         sharded.update_batch(&cold);
-        let leftover = HhhAlgorithm::<SrcHierarchy>::estimate(&sharded, &p8);
+        let leftover = HhhQuery::<SrcHierarchy>::estimate(&sharded, &p8);
         // Only the per-shard one-sided slack may remain (2 blocks × V per
         // shard plus Space-Saving noise) — far below the old count.
         assert!(

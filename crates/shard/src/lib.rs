@@ -40,21 +40,41 @@
 //!   candidates are collected at `θ/N` per shard and re-validated against
 //!   the global `θ·W` bar).
 //!
-//! Queries piggyback on the per-shard update FIFO, so they observe every
-//! preceding update without locks around the algorithm state.
+//! ## The query plane (PR 7)
+//!
+//! Queries no longer piggyback on the per-shard update FIFOs. Instead the
+//! engines run a **snapshot publication pipeline** ([`PublishPolicy`]):
+//! workers periodically freeze immutable per-shard summaries
+//! ([`memento_core::FrozenWindow`] / [`memento_core::FrozenHhh`]), a
+//! publisher merges each complete epoch into an [`EngineSnapshot`] (or
+//! [`HhhEngineSnapshot`]) under the global-position-window contract, and the
+//! merged snapshot is swapped into an epoch-tagged double buffer. The
+//! engines' own [`WindowQuery`](memento_core::WindowQuery) /
+//! [`HhhQuery`](memento_core::HhhQuery) methods answer from the latest
+//! snapshot (forcing a publication first under the default
+//! `on_query = true`, which reproduces the historical flush-then-read
+//! answers bit-for-bit), and cheaply-clonable wait-free reader handles
+//! ([`SnapshotReader`] / [`HhhSnapshotReader`]) answer from it at memory
+//! speed on any thread — stale by at most one publication interval, never
+//! blocking on (or blocked by) ingest.
 //!
 //! ## Example
 //!
 //! ```
+//! use memento_core::WindowQuery;
 //! use memento_core::traits::SlidingWindowEstimator;
 //! use memento_shard::ShardedEstimator;
 //!
 //! // A window of 40_000 packets split over 4 worker threads.
 //! let mut sharded: ShardedEstimator<u64> = ShardedEstimator::memento(4, 256, 40_000, 1.0, 7);
+//! // A wait-free query handle, usable from any thread.
+//! let reader = sharded.reader();
 //! let keys: Vec<u64> = (0..20_000u64).map(|i| i % 500).collect();
 //! sharded.update_batch(&keys);
+//! sharded.publish_now();
 //! assert_eq!(sharded.processed(), 20_000);
 //! assert!(sharded.estimate(&0) >= 40.0);
+//! assert_eq!(reader.processed(), 20_000);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -63,10 +83,14 @@
 mod estimator;
 mod hhh;
 mod router;
+mod snapshot;
 mod worker;
 
 pub use estimator::{BoxedEstimator, ShardedEstimator};
 pub use hhh::{BoxedHhh, ShardedHhh};
+pub use snapshot::{
+    EngineSnapshot, HhhEngineSnapshot, HhhSnapshotReader, PublishPolicy, SnapshotReader,
+};
 
 /// Default number of keys buffered per shard before a batch is shipped to
 /// the worker. Large enough to amortize the channel send and let the

@@ -1,0 +1,603 @@
+//! The wait-free snapshot query plane.
+//!
+//! The sharded engines used to answer every query by piggybacking the
+//! per-shard update FIFO: correct, but each read round-trips through a
+//! worker thread and stalls behind whatever batches are in flight. This
+//! module is the publication subsystem that replaces that path:
+//!
+//! 1. every `PublishPolicy::every_batches` shipped batches (and on
+//!    `publish_now`), the engine ships all shard buffers — synchronizing
+//!    every shard to the current global stream position — and enqueues one
+//!    *freeze job* per worker FIFO;
+//! 2. each worker freezes an immutable per-shard summary
+//!    ([`FrozenWindow`](memento_core::query::FrozenWindow) /
+//!    [`FrozenHhh`](memento_core::query::FrozenHhh)) and delivers it to the
+//!    engine's [`SnapshotHub`];
+//! 3. when the hub holds all `N` parts of an epoch it assembles the merged
+//!    [`EngineSnapshot`] / [`HhhEngineSnapshot`] under the
+//!    global-position-window contract and swaps it into an epoch-stamped
+//!    double buffer ([`SnapshotCell`]);
+//! 4. any number of [`SnapshotReader`] / [`HhhSnapshotReader`] handles —
+//!    cheaply clonable, `Send + Sync` — answer `estimate` /
+//!    `heavy_hitters` / `output` / `processed` from the latest snapshot at
+//!    memory speed, never touching a channel or blocking ingest.
+//!
+//! **Staleness bound.** A reader's answer reflects the stream as of the
+//! latest published epoch, which the ingest path refreshes at least every
+//! `every_batches` shipped batches: readers lag ingest by at most one
+//! publication interval (plus whatever is still buffered in the router,
+//! at most one ship threshold per shard). The engines' own trait queries
+//! publish first by default ([`PublishPolicy::on_query`]), which restores
+//! the old flush-then-read semantics exactly.
+//!
+//! **Why epochs complete in order.** Freeze jobs ride the same per-shard
+//! FIFOs as updates, so shard `s` delivers epoch `e` before `e+1`. An epoch
+//! completes at its last delivery; since every shard delivers `e` before
+//! `e+1`, all parts of `e` are in before the delivery that completes `e+1`
+//! — and deliveries are serialized under the hub's pending lock, so the
+//! double buffer is always written in increasing epoch order.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use memento_core::query::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
+use memento_hierarchy::Hierarchy;
+use memento_sketches::fasthash;
+
+/// When the sharded engines publish query snapshots.
+///
+/// Replaces the old ad-hoc `flush()` + `set_flush_threshold()` pair: the
+/// publication cadence is the one knob that matters for the query plane,
+/// and the on-query behaviour makes the staleness trade-off explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishPolicy {
+    /// Publish a fresh snapshot after this many shipped per-shard batches.
+    /// `0` disables periodic publication (snapshots then appear only on
+    /// `publish_now` / on-query publishes). The default of 64 batches keeps
+    /// readers within ~64 × [`crate::DEFAULT_FLUSH_THRESHOLD`] packets of
+    /// the ingest frontier while costing the ingest path well under a
+    /// percent.
+    pub every_batches: usize,
+    /// When `true` (the default), the engine's *own* query methods
+    /// (`estimate`, `heavy_hitters`, `output`, `processed`) force a
+    /// publication before reading, reproducing the historical
+    /// flush-then-read semantics bit-for-bit. Set to `false` for wait-free
+    /// engine-side reads with the same bounded staleness as
+    /// [`SnapshotReader`] handles.
+    pub on_query: bool,
+}
+
+impl Default for PublishPolicy {
+    fn default() -> Self {
+        PublishPolicy {
+            every_batches: 64,
+            on_query: true,
+        }
+    }
+}
+
+/// An epoch-stamped double buffer: the hand-rolled arc-swap.
+///
+/// The writer alternates between two slots (`epoch & 1`) and advances the
+/// epoch counter with `Release` ordering after the slot is written; readers
+/// load the counter with `Acquire`, lock the matching slot and retry if a
+/// newer publication overwrote it in between (possible only when two
+/// publications complete during one read — readers never block the writer
+/// for more than a pointer clone either way).
+#[derive(Debug)]
+struct SnapshotCell<T> {
+    epoch: AtomicU64,
+    slots: [Mutex<(u64, Option<Arc<T>>)>; 2],
+}
+
+impl<T> SnapshotCell<T> {
+    fn new() -> Self {
+        SnapshotCell {
+            epoch: AtomicU64::new(0),
+            slots: [Mutex::new((0, None)), Mutex::new((0, None))],
+        }
+    }
+
+    /// Publishes `value` as `epoch`. Callers must publish in increasing
+    /// epoch order (the hub's pending lock guarantees it).
+    fn publish(&self, epoch: u64, value: Arc<T>) {
+        let slot = (epoch & 1) as usize;
+        *self.slots[slot].lock().expect("snapshot slot poisoned") = (epoch, Some(value));
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// The latest published value, or `None` before the first publication.
+    fn load(&self) -> Option<Arc<T>> {
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if epoch == 0 {
+                return None;
+            }
+            let slot = self.slots[(epoch & 1) as usize]
+                .lock()
+                .expect("snapshot slot poisoned");
+            if slot.0 == epoch {
+                return slot.1.clone();
+            }
+            // The slot was re-used by a newer publication between the epoch
+            // load and the lock; retry against the newer epoch.
+        }
+    }
+}
+
+/// A partially delivered publication epoch.
+#[derive(Debug)]
+struct PendingEpoch<P> {
+    epoch: u64,
+    delivered: usize,
+    parts: Vec<Option<P>>,
+}
+
+/// Collects per-shard frozen parts, assembles complete epochs into merged
+/// snapshots and publishes them. One hub per engine, shared by the router
+/// side (epoch allocation), the worker threads (delivery) and every reader
+/// handle (loads) through an `Arc`.
+pub(crate) struct SnapshotHub<P, S> {
+    shards: usize,
+    epochs: AtomicU64,
+    assemble: Box<dyn Fn(u64, Vec<P>) -> S + Send + Sync>,
+    pending: Mutex<Vec<PendingEpoch<P>>>,
+    cell: SnapshotCell<S>,
+    /// Highest fully published epoch, guarded for `wait_published`.
+    published: Mutex<u64>,
+    published_cv: Condvar,
+}
+
+impl<P, S> std::fmt::Debug for SnapshotHub<P, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotHub")
+            .field("shards", &self.shards)
+            .field("epochs", &self.epochs.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, S> SnapshotHub<P, S> {
+    pub(crate) fn new(
+        shards: usize,
+        assemble: Box<dyn Fn(u64, Vec<P>) -> S + Send + Sync>,
+    ) -> Self {
+        SnapshotHub {
+            shards,
+            epochs: AtomicU64::new(0),
+            assemble,
+            pending: Mutex::new(Vec::new()),
+            cell: SnapshotCell::new(),
+            published: Mutex::new(0),
+            published_cv: Condvar::new(),
+        }
+    }
+
+    /// Allocates the next publication epoch (1-based; 0 means "nothing
+    /// published"). Callers allocate under the router lock so that epoch
+    /// order matches freeze-job enqueue order on every worker FIFO.
+    pub(crate) fn begin_epoch(&self) -> u64 {
+        self.epochs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Delivers shard `shard`'s frozen part of `epoch`; assembles and
+    /// publishes the snapshot when this was the last missing part.
+    pub(crate) fn deliver(&self, epoch: u64, shard: usize, part: P) {
+        let mut pending = self.pending.lock().expect("snapshot hub poisoned");
+        let idx = match pending.iter().position(|p| p.epoch == epoch) {
+            Some(idx) => idx,
+            None => {
+                pending.push(PendingEpoch {
+                    epoch,
+                    delivered: 0,
+                    parts: (0..self.shards).map(|_| None).collect(),
+                });
+                pending.len() - 1
+            }
+        };
+        let entry = &mut pending[idx];
+        debug_assert!(entry.parts[shard].is_none(), "duplicate delivery");
+        entry.parts[shard] = Some(part);
+        entry.delivered += 1;
+        if entry.delivered < self.shards {
+            return;
+        }
+        let entry = pending.swap_remove(idx);
+        let parts: Vec<P> = entry
+            .parts
+            .into_iter()
+            .map(|p| p.expect("complete epoch missing a part"))
+            .collect();
+        // Assemble and swap while still holding the pending lock: delivery
+        // order is the publication order, so the cell only moves forward.
+        self.cell
+            .publish(epoch, Arc::new((self.assemble)(epoch, parts)));
+        drop(pending);
+        let mut published = self.published.lock().expect("published counter poisoned");
+        if epoch > *published {
+            *published = epoch;
+        }
+        self.published_cv.notify_all();
+        drop(published);
+    }
+
+    /// Blocks until `epoch` (and everything before it) is published.
+    pub(crate) fn wait_published(&self, epoch: u64) {
+        let mut published = self.published.lock().expect("published counter poisoned");
+        while *published < epoch {
+            published = self
+                .published_cv
+                .wait(published)
+                .expect("published counter poisoned");
+        }
+    }
+
+    /// The latest published snapshot, or `None` before the first
+    /// publication.
+    pub(crate) fn latest(&self) -> Option<Arc<S>> {
+        self.cell.load()
+    }
+}
+
+/// Hub specialization used by [`crate::ShardedEstimator`].
+pub(crate) type EstimatorHub<K> = SnapshotHub<FrozenWindow<K>, EngineSnapshot<K>>;
+/// Hub specialization used by [`crate::ShardedHhh`].
+pub(crate) type HhhHub<Hi> = SnapshotHub<FrozenHhh<Hi>, HhhEngineSnapshot<Hi>>;
+
+/// An immutable merged view of a [`crate::ShardedEstimator`] at one
+/// publication epoch: one [`FrozenWindow`] per shard, all anchored at the
+/// same global stream position.
+///
+/// Implements [`WindowQuery`] with exactly the merge rules of the live
+/// engine — per-flow estimates answered by the owning shard (same
+/// [`fasthash::route`]), heavy hitters concatenated in shard order and
+/// re-sorted by descending estimate, `processed` the per-shard maximum — so
+/// snapshot answers are bit-for-bit what the FIFO path would have returned
+/// at the publication point.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<K> {
+    epoch: u64,
+    name: &'static str,
+    error_bound: f64,
+    shards: Vec<FrozenWindow<K>>,
+}
+
+impl<K: Eq + Hash + Clone> EngineSnapshot<K> {
+    pub(crate) fn assemble(
+        epoch: u64,
+        name: &'static str,
+        error_bound: f64,
+        shards: Vec<FrozenWindow<K>>,
+    ) -> Self {
+        EngineSnapshot {
+            epoch,
+            name,
+            error_bound,
+            shards,
+        }
+    }
+
+    /// The publication epoch this snapshot belongs to (1-based and strictly
+    /// increasing per engine).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of per-shard summaries merged into this snapshot.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard frozen summaries, in shard order.
+    pub fn per_shard(&self) -> &[FrozenWindow<K>] {
+        &self.shards
+    }
+}
+
+impl<K: Eq + Hash + Clone> WindowQuery<K> for EngineSnapshot<K> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// A flow lives wholly in one shard: route the key exactly like the
+    /// live engine and answer from that shard's summary.
+    fn estimate(&self, key: &K) -> f64 {
+        self.shards[fasthash::route(key, self.shards.len())].estimate(key)
+    }
+
+    /// Union of the per-shard sets (shards partition the key space, so it
+    /// is disjoint), re-sorted by descending estimate exactly like the live
+    /// merge.
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        let mut merged: Vec<(K, f64)> = Vec::new();
+        for shard in &self.shards {
+            merged.extend(shard.heavy_hitters(threshold));
+        }
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        merged
+    }
+
+    /// Global stream position at the publication point: every shard is
+    /// position-synced before freezing, so this is the per-shard maximum.
+    fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed()).max().unwrap_or(0)
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+}
+
+/// A cheaply clonable, `Send + Sync` handle answering window queries from a
+/// [`crate::ShardedEstimator`]'s latest published snapshot.
+///
+/// Reads are wait-free with respect to ingest: a query loads the epoch
+/// double buffer (two atomics and an uncontended mutex-protected pointer
+/// clone) and answers from the immutable merged summary — it never touches
+/// a worker FIFO and never blocks an update. Answers are stale by at most
+/// one publication interval ([`PublishPolicy::every_batches`]). Before the
+/// first publication the reader reports the empty window (`processed` = 0,
+/// no heavy hitters).
+pub struct SnapshotReader<K> {
+    hub: Arc<EstimatorHub<K>>,
+    name: &'static str,
+    error_bound: f64,
+}
+
+impl<K> Clone for SnapshotReader<K> {
+    fn clone(&self) -> Self {
+        SnapshotReader {
+            hub: Arc::clone(&self.hub),
+            name: self.name,
+            error_bound: self.error_bound,
+        }
+    }
+}
+
+impl<K> std::fmt::Debug for SnapshotReader<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Eq + Hash + Clone> SnapshotReader<K> {
+    pub(crate) fn new(hub: Arc<EstimatorHub<K>>, name: &'static str, error_bound: f64) -> Self {
+        SnapshotReader {
+            hub,
+            name,
+            error_bound,
+        }
+    }
+
+    /// The latest published snapshot, or `None` before the first
+    /// publication. Grabbing the `Arc` pins one epoch: every query against
+    /// it is internally consistent, which is what the torn-read stress
+    /// tests assert.
+    pub fn latest(&self) -> Option<Arc<EngineSnapshot<K>>> {
+        self.hub.latest()
+    }
+}
+
+impl<K: Eq + Hash + Clone> WindowQuery<K> for SnapshotReader<K> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn estimate(&self, key: &K) -> f64 {
+        self.latest().map(|s| s.estimate(key)).unwrap_or(0.0)
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, f64)> {
+        self.latest()
+            .map(|s| s.heavy_hitters(threshold))
+            .unwrap_or_default()
+    }
+
+    fn processed(&self) -> u64 {
+        self.latest().map(|s| s.processed()).unwrap_or(0)
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+}
+
+/// An immutable merged view of a [`crate::ShardedHhh`] at one publication
+/// epoch: one [`FrozenHhh`] per shard, all anchored at the same global
+/// stream position.
+///
+/// Implements [`HhhQuery`] with exactly the live engine's merge rules: a
+/// prefix aggregates items from every shard, so `estimate` *sums* the
+/// per-shard upper bounds (in shard order — identical f64 rounding), and
+/// `output` collects candidates at the per-shard `θ/N` threshold,
+/// re-validates the union against the global `θ·W` bar with the summed
+/// estimates and returns them in canonical prefix order.
+#[derive(Debug, Clone)]
+pub struct HhhEngineSnapshot<Hi: Hierarchy> {
+    epoch: u64,
+    name: &'static str,
+    window_total: Option<usize>,
+    shards: Vec<FrozenHhh<Hi>>,
+}
+
+impl<Hi: Hierarchy> HhhEngineSnapshot<Hi> {
+    pub(crate) fn assemble(
+        epoch: u64,
+        name: &'static str,
+        window_total: Option<usize>,
+        shards: Vec<FrozenHhh<Hi>>,
+    ) -> Self {
+        HhhEngineSnapshot {
+            epoch,
+            name,
+            window_total,
+            shards,
+        }
+    }
+
+    /// The publication epoch this snapshot belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of per-shard summaries merged into this snapshot.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<Hi: Hierarchy> HhhQuery<Hi> for HhhEngineSnapshot<Hi> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sum of the per-shard upper bounds, in shard order (the same
+    /// accumulation order as the live engine's merged estimate).
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.shards.iter().map(|s| s.estimate(prefix)).sum()
+    }
+
+    /// The live engine's two-phase merge over frozen parts: per-shard
+    /// candidates at `θ/N`, summed-estimate re-validation against `θ·W`,
+    /// canonical prefix order.
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        let per_shard_theta = if self.window_total.is_some() {
+            theta / self.shards.len() as f64
+        } else {
+            theta
+        };
+        let mut seen: HashSet<Hi::Prefix> = HashSet::new();
+        for shard in &self.shards {
+            seen.extend(shard.output(per_shard_theta));
+        }
+        let mut merged: Vec<Hi::Prefix> = seen.into_iter().collect();
+        if let Some(window) = self.window_total {
+            let floor = theta * window as f64;
+            let mut totals = vec![0.0f64; merged.len()];
+            for shard in &self.shards {
+                for (total, prefix) in totals.iter_mut().zip(&merged) {
+                    *total += shard.estimate(prefix);
+                }
+            }
+            let mut keep = totals.iter().map(|t| *t >= floor);
+            merged.retain(|_| keep.next().unwrap_or(false));
+        }
+        merged.sort_unstable();
+        merged
+    }
+
+    fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed()).max().unwrap_or(0)
+    }
+}
+
+/// A cheaply clonable, `Send + Sync` handle answering HHH queries from a
+/// [`crate::ShardedHhh`]'s latest published snapshot — the hierarchical
+/// counterpart of [`SnapshotReader`], with the same wait-free guarantees
+/// and the same ≤-one-publication-interval staleness bound. Before the
+/// first publication it reports the empty measurement (`processed` = 0, no
+/// heavy hitters, zero estimates).
+pub struct HhhSnapshotReader<Hi: Hierarchy> {
+    hub: Arc<HhhHub<Hi>>,
+    name: &'static str,
+}
+
+impl<Hi: Hierarchy> Clone for HhhSnapshotReader<Hi> {
+    fn clone(&self) -> Self {
+        HhhSnapshotReader {
+            hub: Arc::clone(&self.hub),
+            name: self.name,
+        }
+    }
+}
+
+impl<Hi: Hierarchy> std::fmt::Debug for HhhSnapshotReader<Hi> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HhhSnapshotReader")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<Hi: Hierarchy> HhhSnapshotReader<Hi> {
+    pub(crate) fn new(hub: Arc<HhhHub<Hi>>, name: &'static str) -> Self {
+        HhhSnapshotReader { hub, name }
+    }
+
+    /// The latest published snapshot, or `None` before the first
+    /// publication.
+    pub fn latest(&self) -> Option<Arc<HhhEngineSnapshot<Hi>>> {
+        self.hub.latest()
+    }
+}
+
+impl<Hi: Hierarchy> HhhQuery<Hi> for HhhSnapshotReader<Hi> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn estimate(&self, prefix: &Hi::Prefix) -> f64 {
+        self.latest().map(|s| s.estimate(prefix)).unwrap_or(0.0)
+    }
+
+    fn output(&self, theta: f64) -> Vec<Hi::Prefix> {
+        self.latest().map(|s| s.output(theta)).unwrap_or_default()
+    }
+
+    fn processed(&self) -> u64 {
+        self.latest().map(|s| s.processed()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_load_sees_the_latest_publish() {
+        let cell: SnapshotCell<u64> = SnapshotCell::new();
+        assert!(cell.load().is_none());
+        for epoch in 1..=5u64 {
+            cell.publish(epoch, Arc::new(epoch * 100));
+            assert_eq!(*cell.load().expect("published"), epoch * 100);
+        }
+    }
+
+    #[test]
+    fn hub_publishes_when_all_parts_arrive() {
+        let hub: SnapshotHub<u64, Vec<u64>> =
+            SnapshotHub::new(3, Box::new(|_, parts| parts.clone()));
+        let epoch = hub.begin_epoch();
+        hub.deliver(epoch, 1, 10);
+        assert!(hub.latest().is_none(), "incomplete epoch must not publish");
+        hub.deliver(epoch, 0, 20);
+        hub.deliver(epoch, 2, 30);
+        hub.wait_published(epoch);
+        // Parts come back in shard order regardless of delivery order.
+        assert_eq!(*hub.latest().expect("published"), vec![20, 10, 30]);
+    }
+
+    #[test]
+    fn hub_interleaved_epochs_publish_in_order() {
+        let hub: SnapshotHub<u64, u64> = SnapshotHub::new(
+            2,
+            Box::new(|epoch, parts| epoch * 1000 + parts.iter().sum::<u64>()),
+        );
+        let e1 = hub.begin_epoch();
+        let e2 = hub.begin_epoch();
+        // Shard 0 runs ahead: delivers both epochs before shard 1 starts —
+        // the per-shard FIFO guarantees e1 before e2 per shard, nothing
+        // more.
+        hub.deliver(e1, 0, 1);
+        hub.deliver(e2, 0, 2);
+        hub.deliver(e1, 1, 10);
+        assert_eq!(*hub.latest().expect("e1 complete"), 1011);
+        hub.deliver(e2, 1, 20);
+        hub.wait_published(e2);
+        assert_eq!(*hub.latest().expect("e2 complete"), 2022);
+    }
+}

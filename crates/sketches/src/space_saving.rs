@@ -178,6 +178,18 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         self.summary.contains(key)
     }
 
+    /// The answer [`Self::query`] gives for any key *not* currently holding
+    /// a counter: the minimum counter value once the summary is full, 0
+    /// while it still has free counters. Snapshot code captures this at
+    /// freeze time because it depends on the fill state.
+    pub fn absent_query(&self) -> u64 {
+        if self.summary.is_full() {
+            self.summary.min_count()
+        } else {
+            0
+        }
+    }
+
     /// Current minimum counter value (0 when empty).
     pub fn min_count(&self) -> u64 {
         self.summary.min_count()

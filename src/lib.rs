@@ -46,8 +46,12 @@ pub use memento_traces as traces;
 
 pub use memento_baselines::{ExactWindowHhh, Mst, Rhhh, WindowMst};
 pub use memento_core::{analysis, traits, HMemento, Memento, Wcss};
+pub use memento_core::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
 pub use memento_core::{HhhAlgorithm, SlidingWindowEstimator};
 pub use memento_hierarchy::{Hierarchy, Prefix1D, Prefix2D, SrcDstHierarchy, SrcHierarchy};
 pub use memento_netwide::{CommMethod, DHMementoController, DMementoController, NetworkSimulator};
-pub use memento_shard::{ShardedEstimator, ShardedHhh};
+pub use memento_shard::{
+    EngineSnapshot, HhhEngineSnapshot, HhhSnapshotReader, PublishPolicy, ShardedEstimator,
+    ShardedHhh, SnapshotReader,
+};
 pub use memento_traces::{Packet, TraceGenerator, TracePreset};

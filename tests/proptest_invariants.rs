@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use memento::hierarchy::{exact_hhh, Hierarchy};
 use memento::sketches::ExactWindow;
 use memento::traits::SlidingWindowEstimator;
+use memento::WindowQuery;
 use memento::{HMemento, Memento, SrcHierarchy, Wcss};
 use proptest::prelude::*;
 
@@ -124,8 +125,8 @@ proptest! {
             batched.update_batch(part);
         }
         prop_assert_eq!(
-            SlidingWindowEstimator::processed(&one_by_one),
-            SlidingWindowEstimator::processed(&batched)
+            WindowQuery::processed(&one_by_one),
+            WindowQuery::processed(&batched)
         );
         for flow in 0u64..30 {
             prop_assert_eq!(

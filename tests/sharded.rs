@@ -7,6 +7,7 @@
 
 use memento::sketches::ExactWindow;
 use memento::traits::SlidingWindowEstimator;
+use memento::WindowQuery;
 use memento::{Memento, ShardedEstimator, TraceGenerator, TracePreset, Wcss};
 use proptest::prelude::*;
 

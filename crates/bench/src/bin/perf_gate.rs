@@ -3,7 +3,9 @@
 //!
 //! Measures update throughput (million packets per second) and on-arrival
 //! RMSE for a matrix of algorithm × shard-count configurations on a
-//! synthetic Zipf trace, writes the result as machine-readable JSON
+//! synthetic Zipf trace — including the `publish-heavy` row, which pins the
+//! snapshot-publication cadence to every shipped batch to bound the cost of
+//! the delta publication plane — writes the result as machine-readable JSON
 //! (`BENCH_pr.json`, schema in `memento_bench::gate`), and fails when
 //!
 //! * a configuration's throughput regressed beyond the noise tolerance
@@ -167,6 +169,10 @@ fn main() {
     // The PR 7 query-plane row: the 4-shard Memento ingesting at full tilt
     // while 4 wait-free snapshot readers hammer `estimate` concurrently.
     rows.push(measure_readers_row(&config, &preset, &keys));
+
+    // The PR 8 delta-publication row: the 4-shard Memento publishing a
+    // snapshot after *every* shipped batch.
+    rows.push(measure_publish_heavy_row(&config, &preset, &keys));
 
     let calibration = calibration_mops();
     eprintln!("perf_gate: calibration workload: {calibration:.0} mops single-core");
@@ -392,6 +398,69 @@ fn measure_readers_row(config: &GateConfig, preset: &TracePreset, keys: &[u64]) 
         workload: preset.name.to_string(),
         mpps: best,
         on_arrival_rmse: None,
+    }
+}
+
+/// Measures the `publish-heavy` row: the 4-shard Memento with
+/// `every_batches = 1` — a snapshot publication after every shipped batch,
+/// the densest cadence the policy supports. Under the PR 7 plane each
+/// publication re-froze every shard's entire summary (O(k) per shard);
+/// under the PR 8 delta plane it freezes only the slots dirtied since the
+/// previous epoch and folds them onto the assembler's persistent views, so
+/// this row isolates the cost of the publication machinery itself. The
+/// RMSE column runs the same engine configuration through the on-arrival
+/// harness, where `on_query` publications exercise the delta-built
+/// snapshots' accuracy.
+fn measure_publish_heavy_row(config: &GateConfig, preset: &TracePreset, keys: &[u64]) -> GateRow {
+    let policy = PublishPolicy {
+        every_batches: 1,
+        on_query: true,
+    };
+    let make = || {
+        Box::new(
+            ShardedEstimator::memento(
+                4,
+                config.counters,
+                config.window,
+                config.tau,
+                config.seed,
+            )
+            .with_policy(policy),
+        )
+    };
+    let mut best = 0.0f64;
+    for _ in 0..PASSES {
+        let mut engine = make();
+        let mpps = measure_mpps(keys.len(), || {
+            for part in keys.chunks(CHUNK) {
+                engine.update_batch(part);
+            }
+            assert_eq!(engine.processed(), keys.len() as u64);
+        });
+        best = best.max(mpps);
+    }
+    let mut engine = make();
+    let accuracy_keys = &keys[..config.accuracy_packets.min(keys.len())];
+    let rmse = on_arrival_rmse(
+        engine.as_mut(),
+        accuracy_keys,
+        config.window.min(accuracy_keys.len() / 3),
+        config.probe_every,
+    );
+    eprintln!(
+        "perf_gate: publish-heavy@4 shards (every_batches=1): {best:.2} mpps, \
+         on-arrival RMSE {:.2} over {} probes",
+        rmse.value(),
+        rmse.count()
+    );
+    GateRow {
+        algorithm: "publish-heavy".to_string(),
+        shards: 4,
+        tau: config.tau,
+        counters: config.counters,
+        workload: preset.name.to_string(),
+        mpps: best,
+        on_arrival_rmse: Some(rmse.value()),
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod h_memento;
 pub mod memento;
@@ -52,6 +53,7 @@ pub mod traits;
 pub mod wcss;
 
 pub use config::MementoConfig;
+pub use delta::{DeltaAssembler, DeltaWindow, WindowPatch};
 pub use error::ConfigError;
 pub use h_memento::HMemento;
 pub use memento::Memento;

@@ -29,12 +29,14 @@
 //! one-sided (as the paper does for comparability with MST), and scales by
 //! τ⁻¹ to compensate for sampling.
 
+use std::collections::HashSet;
 use std::hash::Hash;
 
-use memento_sketches::fasthash::{hash_one, PREFETCH_LOOKAHEAD};
+use memento_sketches::fasthash::{hash_one, FastBuildHasher, PREFETCH_LOOKAHEAD};
 use memento_sketches::{CompactMap, OverflowQueue, Sampler, SpaceSaving, TableSampler};
 
 use crate::config::MementoConfig;
+use crate::delta::WindowPatch;
 
 /// Branch-free exact-divisibility test by a fixed divisor
 /// (Granlund–Montgomery, *Hacker's Delight* §10-17): for `d = odd · 2^k`,
@@ -141,6 +143,12 @@ pub struct Memento<K: Eq + Hash + Clone> {
     processed: u64,
     /// Number of Full updates performed (for diagnostics/tests).
     full_updates: u64,
+    /// `y.absent_query()` as of the previous [`Self::freeze_patch`] call.
+    /// The estimate of an overflow flow *not* monitored in `y` embeds that
+    /// absent answer (`y.query` falls back to it), so when it moves, those
+    /// flows must be re-emitted even though none of their slots were
+    /// touched — this field is how the patch builder notices.
+    last_absent: u64,
 }
 
 impl<K: Eq + Hash + Clone> Memento<K> {
@@ -203,6 +211,7 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             batch_sampled: Vec::new(),
             processed: 0,
             full_updates: 0,
+            last_absent: 0,
         }
     }
 
@@ -918,6 +927,129 @@ impl<K: Eq + Hash + Clone> Memento<K> {
             .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         out
+    }
+
+    // ---- incremental freeze --------------------------------------------------
+
+    /// Canonical tie-breaking rank of a tracked key, mirroring
+    /// [`Self::tracked_keys`]'s traversal: overflow flows first (their `B`
+    /// slot), then `y`-only flows (their stream-summary slot, offset past
+    /// every possible `B` slot). Ranks strictly increase along the
+    /// traversal, so sorting by `(estimate desc, rank asc)` reproduces
+    /// [`Self::heavy_hitters`]'s stable descending order exactly.
+    /// `None` for untracked keys.
+    fn delta_rank(&self, key: &K) -> Option<u64> {
+        if let Some(slot) = self.overflow_counts.slot_of(key) {
+            return Some(slot as u64);
+        }
+        self.y.slot_of(key).map(|slot| (1u64 << 32) | slot as u64)
+    }
+
+    /// Captures the changes since the previous `freeze_patch` call as a
+    /// [`WindowPatch`] (the engine behind the Memento family's O(dirty)
+    /// [`WindowQuery::freeze_delta`](crate::WindowQuery::freeze_delta)).
+    ///
+    /// The first call enables dirty journaling on the overflow table and the
+    /// in-frame summary — instances that never freeze incrementally pay
+    /// nothing — and returns a full rebuild. Subsequent calls return only
+    /// the flows whose `(estimate, rank)` could have changed:
+    ///
+    /// * flows at journaled-dirty `B` or `y` slots (count changes, slot
+    ///   moves from backward-shift deletion);
+    /// * flows removed from `B` or evicted from `y` since the last call;
+    /// * when `y`'s absent-key answer moved, every overflow flow *not*
+    ///   monitored in `y` (their estimates embed that answer) — O(|B|),
+    ///   still far below the full O(k + |B|) re-enumeration.
+    ///
+    /// A frame flush (`y` cleared) or overflow-table resize invalidates
+    /// slot identity wholesale and degrades that call to a rebuild.
+    ///
+    /// The caller supplies `error_bound` (it differs between the Memento
+    /// and WCSS trait impls); the patch carries `0.0` until overwritten.
+    pub fn freeze_patch(&mut self) -> WindowPatch<K> {
+        if !self.overflow_counts.journal_enabled() {
+            self.overflow_counts.enable_journal();
+        }
+        if !self.y.journal_enabled() {
+            self.y.enable_journal();
+        }
+        let map_drain = self
+            .overflow_counts
+            .drain_journal()
+            .expect("journal enabled above");
+        let y_drain = self.y.drain_journal().expect("journal enabled above");
+        let absent = self.y.absent_query();
+        let absent_changed = absent != self.last_absent;
+        self.last_absent = absent;
+        let untracked = self.untracked_estimate();
+        if map_drain.all_dirty || y_drain.cleared {
+            let mut updated = Vec::new();
+            for (k, _) in self.overflow_counts.iter() {
+                let rank = self
+                    .overflow_counts
+                    .slot_of(k)
+                    .expect("iterated key is present") as u64;
+                updated.push((k.clone(), self.estimate(k), rank));
+            }
+            for snap in self.y.snapshot() {
+                if self.overflow_counts.get(&snap.key).is_some() {
+                    continue;
+                }
+                let rank = (1u64 << 32)
+                    | self.y.slot_of(&snap.key).expect("snapshotted key is present") as u64;
+                let est = self.estimate(&snap.key);
+                updated.push((snap.key, est, rank));
+            }
+            return WindowPatch {
+                rebuild: true,
+                updated,
+                removed: Vec::new(),
+                untracked,
+                processed: self.processed,
+                error_bound: 0.0,
+            };
+        }
+        // Keyed by the workspace's fast multiply–rotate hash: SipHash here
+        // would dominate the whole O(dirty) freeze.
+        let mut candidates: HashSet<K, FastBuildHasher> = HashSet::default();
+        for slot in map_drain.dirty_slots {
+            if let Some((k, _)) = self.overflow_counts.slot_entry(slot) {
+                candidates.insert(k.clone());
+            }
+        }
+        candidates.extend(map_drain.removed);
+        for slot in y_drain.dirty_slots {
+            if let Some((k, _, _)) = self.y.slot_entry(slot) {
+                candidates.insert(k.clone());
+            }
+        }
+        candidates.extend(y_drain.evicted);
+        if absent_changed {
+            for (k, _) in self.overflow_counts.iter() {
+                if self.y.slot_of(k).is_none() {
+                    candidates.insert(k.clone());
+                }
+            }
+        }
+        let mut updated = Vec::new();
+        let mut removed = Vec::new();
+        for k in candidates {
+            match self.delta_rank(&k) {
+                Some(rank) => {
+                    let est = self.estimate(&k);
+                    updated.push((k, est, rank));
+                }
+                None => removed.push(k),
+            }
+        }
+        WindowPatch {
+            rebuild: false,
+            updated,
+            removed,
+            untracked,
+            processed: self.processed,
+            error_bound: 0.0,
+        }
     }
 }
 

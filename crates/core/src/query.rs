@@ -30,6 +30,8 @@ use std::hash::Hash;
 
 use memento_hierarchy::{compute_hhh, HhhParams, Hierarchy, PrefixEstimator};
 
+use crate::delta::WindowPatch;
+
 /// The read-only surface of a per-flow sliding-window frequency estimator.
 ///
 /// Everything here takes `&self`: implementors answer from their current
@@ -85,6 +87,29 @@ pub trait WindowQuery<K: Clone> {
     {
         FrozenWindow::capture(
             self.name(),
+            self.heavy_hitters(0.0),
+            self.untracked_estimate(),
+            self.processed(),
+            self.error_bound(),
+        )
+    }
+
+    /// Captures the changes since the previous `freeze_delta` call as a
+    /// [`WindowPatch`], for consumers maintaining a persistent
+    /// [`DeltaWindow`](crate::delta::DeltaWindow). Applying every patch in
+    /// call order reproduces [`freeze`](Self::freeze)'s answers bit-for-bit
+    /// at each point.
+    ///
+    /// Takes `&mut self` because native implementors drain internal dirty
+    /// journals. The provided implementation has no journal and simply
+    /// returns a full [`WindowPatch::rebuild`] every time — correct for any
+    /// implementor, O(k) like `freeze`. Native O(dirty) implementations
+    /// exist for the Memento family, Space Saving, and the exact window.
+    fn freeze_delta(&mut self) -> WindowPatch<K>
+    where
+        K: Eq + Hash,
+    {
+        WindowPatch::rebuild(
             self.heavy_hitters(0.0),
             self.untracked_estimate(),
             self.processed(),

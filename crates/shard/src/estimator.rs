@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use memento_core::traits::{SlidingWindowEstimator, WindowQuery};
-use memento_core::{Memento, Wcss};
+use memento_core::{DeltaAssembler, Memento, Wcss, WindowPatch};
 use memento_sketches::{fasthash, ExactWindow};
 
 use crate::router::Router;
@@ -75,6 +75,9 @@ pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + Sync + 'static> {
     /// Batches shipped since the last publication (mutated only under the
     /// router lock; atomic so `&self` query methods can read it).
     shipped: AtomicUsize,
+    /// Freeze rounds actually enqueued to the workers (diagnostics: lets
+    /// tests assert the unchanged-engine short circuit skips them).
+    freezes: AtomicUsize,
     /// Snapshot assembly and the epoch double buffer, shared with every
     /// [`SnapshotReader`] handle.
     hub: Arc<EstimatorHub<K>>,
@@ -124,9 +127,26 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
                 estimator,
             ));
         }
+        // The persistent merge state of the PR 8 delta publication plane:
+        // one rotating view assembler per shard, owned by the hub's
+        // stateful closure. Each epoch folds the shards' incremental
+        // patches onto assembler-owned views (in-place hash-table writes —
+        // the rotation keeps the mutated view out of the double buffer's
+        // retention window) and publishes O(1) clones, so assembling costs
+        // O(slots dirtied since the previous epoch) instead of
+        // O(shards × summary size).
+        let mut merged: Vec<DeltaAssembler<K>> =
+            (0..shards).map(|_| DeltaAssembler::new(name)).collect();
         let hub = Arc::new(SnapshotHub::new(
             shards,
-            Box::new(move |epoch, parts| EngineSnapshot::assemble(epoch, name, error_bound, parts)),
+            Box::new(move |epoch, parts: Vec<WindowPatch<K>>| {
+                let views = merged
+                    .iter_mut()
+                    .zip(parts)
+                    .map(|(assembler, patch)| assembler.publish(patch))
+                    .collect();
+                EngineSnapshot::assemble(epoch, name, error_bound, views)
+            }),
         ));
         ShardedEstimator {
             name,
@@ -135,6 +155,7 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             policy: PublishPolicy::default(),
             shipped: AtomicUsize::new(0),
+            freezes: AtomicUsize::new(0),
             hub,
             error_bound,
         }
@@ -258,20 +279,61 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
     }
 
     /// Ships all buffers (position sync), allocates the next epoch and
-    /// enqueues one freeze job per worker FIFO. Epochs are allocated under
-    /// the router lock, so epoch order equals enqueue order on every FIFO —
-    /// which is what makes them complete in order at the hub.
+    /// enqueues one incremental freeze job ([`freeze_delta`]
+    /// (WindowQuery::freeze_delta)) per worker FIFO. Epochs are allocated
+    /// under the router lock, so epoch order equals enqueue order on every
+    /// FIFO — which is what makes them complete in order at the hub (and
+    /// what lets the hub's stateful assembler apply patches in order).
+    ///
+    /// **Unchanged-engine short circuit:** every state change since the
+    /// previous publication — buffered keys, position advances — turns into
+    /// a shipment during the ship-all loop above, so `shipped == 0`
+    /// afterwards means the shards are bit-identical to what the last
+    /// freeze round saw. When additionally every allocated epoch has been
+    /// published (no freeze jobs in flight), the freeze round would produce
+    /// all-empty patches — so the latest snapshot is re-published under the
+    /// new epoch instead, without touching a worker. The epoch still
+    /// advances (readers still observe the publication); the workers just
+    /// never hear about it.
     fn publish_epoch(&self, state: &mut Router<K>) -> u64 {
         for shard in 0..self.workers.len() {
             self.ship_shard(state, shard);
         }
-        self.shipped.store(0, Ordering::Relaxed);
+        let unchanged = self.shipped.swap(0, Ordering::Relaxed) == 0;
+        if unchanged && self.hub.quiescent() {
+            // Epoch allocation and the quiescence check both happen under
+            // the router lock, so no worker delivery can race the restamp.
+            let epoch = self.hub.begin_epoch();
+            if self.hub.publish_restamped(epoch, |snap| snap.restamped(epoch)) {
+                return epoch;
+            }
+            // Nothing published yet (first publication of an empty
+            // engine): fall through to a real freeze round for this epoch.
+            self.enqueue_freezes(epoch);
+            return epoch;
+        }
         let epoch = self.hub.begin_epoch();
+        self.enqueue_freezes(epoch);
+        epoch
+    }
+
+    /// Enqueues one incremental freeze job per worker FIFO for `epoch`.
+    fn enqueue_freezes(&self, epoch: u64) {
+        self.freezes.fetch_add(1, Ordering::Relaxed);
         for (shard, worker) in self.workers.iter().enumerate() {
             let hub = Arc::clone(&self.hub);
-            worker.send(Box::new(move |est| hub.deliver(epoch, shard, est.freeze())));
+            worker.send(Box::new(move |est| {
+                hub.deliver(epoch, shard, est.freeze_delta());
+            }));
         }
-        epoch
+    }
+
+    /// Number of freeze rounds actually enqueued to the workers — excludes
+    /// re-stamped publications of an unchanged engine. Diagnostics for the
+    /// short-circuit tests.
+    #[doc(hidden)]
+    pub fn freeze_rounds(&self) -> usize {
+        self.freezes.load(Ordering::Relaxed)
     }
 
     /// Publishes a fresh snapshot *now* — ships all pending buffers,
@@ -579,6 +641,38 @@ mod tests {
             let via_fifo = sharded.query_via_fifo(shard, move |est| est.estimate(&key));
             assert_eq!(via_snapshot.to_bits(), via_fifo.to_bits());
         }
+    }
+
+    #[test]
+    fn unchanged_engine_republishes_without_freezing() {
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::wcss(2, 64, 8_000);
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i % 23).collect();
+        sharded.update_batch(&keys);
+        let e1 = sharded.publish_now();
+        let rounds = sharded.freeze_rounds();
+        // Publishing an untouched engine must advance the epoch without
+        // enqueueing a single freeze job (the workers never hear about it).
+        let e2 = sharded.publish_now();
+        let e3 = sharded.publish_now();
+        assert!(e1 < e2 && e2 < e3, "epochs must keep advancing");
+        assert_eq!(sharded.freeze_rounds(), rounds, "short circuit froze");
+        // The restamped snapshot carries the new epoch and the old answers.
+        let snap = sharded.reader().latest().expect("published");
+        assert_eq!(snap.epoch(), e3);
+        assert_eq!(snap.processed(), 4_000);
+        assert_eq!(snap.estimate(&1), sharded.estimate(&1));
+        // Any ingest — even a single packet — re-arms the real freeze path.
+        sharded.update(1);
+        let e4 = sharded.publish_now();
+        assert!(e4 > e3);
+        assert!(sharded.freeze_rounds() > rounds, "ingest must re-freeze");
+        assert_eq!(sharded.processed(), 4_001);
+        // A bare position advance (skip) also counts as a change.
+        let rounds = sharded.freeze_rounds();
+        sharded.skip(5_000);
+        sharded.publish_now();
+        assert!(sharded.freeze_rounds() > rounds, "skip must re-freeze");
+        assert_eq!(sharded.processed(), 9_001);
     }
 
     #[test]

@@ -40,15 +40,20 @@
 //!   candidates are collected at `θ/N` per shard and re-validated against
 //!   the global `θ·W` bar).
 //!
-//! ## The query plane (PR 7)
+//! ## The query plane (PR 7, incremental since PR 8)
 //!
 //! Queries no longer piggyback on the per-shard update FIFOs. Instead the
 //! engines run a **snapshot publication pipeline** ([`PublishPolicy`]):
-//! workers periodically freeze immutable per-shard summaries
-//! ([`memento_core::FrozenWindow`] / [`memento_core::FrozenHhh`]), a
-//! publisher merges each complete epoch into an [`EngineSnapshot`] (or
-//! [`HhhEngineSnapshot`]) under the global-position-window contract, and the
-//! merged snapshot is swapped into an epoch-tagged double buffer. The
+//! workers periodically freeze per-shard summaries — estimator shards
+//! freeze *incrementally* ([`memento_core::WindowPatch`] covering only the
+//! slots dirtied since the previous epoch, folded onto persistent
+//! [`memento_core::DeltaAssembler`] views, so publication costs O(dirty)
+//! rather than O(k) per shard; unchanged engines re-stamp the previous
+//! snapshot without freezing at all), HHH shards freeze full immutable
+//! [`memento_core::FrozenHhh`] summaries — and each complete epoch is
+//! assembled into an [`EngineSnapshot`] (or [`HhhEngineSnapshot`]) under
+//! the global-position-window contract, then swapped into an epoch-tagged
+//! double buffer. The
 //! engines' own [`WindowQuery`](memento_core::WindowQuery) /
 //! [`HhhQuery`](memento_core::HhhQuery) methods answer from the latest
 //! snapshot (forcing a publication first under the default

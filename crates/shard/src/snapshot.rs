@@ -9,14 +9,19 @@
 //!    `publish_now`), the engine ships all shard buffers — synchronizing
 //!    every shard to the current global stream position — and enqueues one
 //!    *freeze job* per worker FIFO;
-//! 2. each worker freezes an immutable per-shard summary
-//!    ([`FrozenWindow`](memento_core::query::FrozenWindow) /
-//!    [`FrozenHhh`](memento_core::query::FrozenHhh)) and delivers it to the
+//! 2. each worker freezes its shard — for estimator engines an incremental
+//!    [`WindowPatch`](memento_core::WindowPatch) covering only the slots
+//!    dirtied since its previous freeze (PR 8), for HHH engines a full
+//!    [`FrozenHhh`](memento_core::query::FrozenHhh) — and delivers it to the
 //!    engine's [`SnapshotHub`];
 //! 3. when the hub holds all `N` parts of an epoch it assembles the merged
 //!    [`EngineSnapshot`] / [`HhhEngineSnapshot`] under the
 //!    global-position-window contract and swaps it into an epoch-stamped
-//!    double buffer ([`SnapshotCell`]);
+//!    double buffer ([`SnapshotCell`]). Estimator assembly is *persistent*:
+//!    the assembler owns one [`DeltaWindow`](memento_core::DeltaWindow) per
+//!    shard, applies each epoch's patches onto it and snapshots the result
+//!    with O(1) structural-sharing clones — publication costs
+//!    O(dirty slots), not O(shards × summary size);
 //! 4. any number of [`SnapshotReader`] / [`HhhSnapshotReader`] handles —
 //!    cheaply clonable, `Send + Sync` — answer `estimate` /
 //!    `heavy_hitters` / `output` / `processed` from the latest snapshot at
@@ -42,7 +47,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use memento_core::query::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
+use memento_core::query::{FrozenHhh, HhhQuery, WindowQuery};
+use memento_core::{DeltaWindow, WindowPatch};
 use memento_hierarchy::Hierarchy;
 use memento_sketches::fasthash;
 
@@ -135,6 +141,17 @@ struct PendingEpoch<P> {
     parts: Vec<Option<P>>,
 }
 
+/// The hub's mutable core: partially delivered epochs plus the assembler
+/// that folds complete ones into snapshots. One mutex guards both because
+/// the assembler is *stateful* (PR 8): the estimator engines hand it per
+/// shard patches and it owns the persistent merged [`DeltaWindow`]s they
+/// apply onto — epochs must reach it exactly once, in epoch order, which is
+/// precisely the order deliveries complete in under this lock.
+struct HubState<P, S> {
+    pending: Vec<PendingEpoch<P>>,
+    assemble: Box<dyn FnMut(u64, Vec<P>) -> S + Send>,
+}
+
 /// Collects per-shard frozen parts, assembles complete epochs into merged
 /// snapshots and publishes them. One hub per engine, shared by the router
 /// side (epoch allocation), the worker threads (delivery) and every reader
@@ -142,8 +159,7 @@ struct PendingEpoch<P> {
 pub(crate) struct SnapshotHub<P, S> {
     shards: usize,
     epochs: AtomicU64,
-    assemble: Box<dyn Fn(u64, Vec<P>) -> S + Send + Sync>,
-    pending: Mutex<Vec<PendingEpoch<P>>>,
+    state: Mutex<HubState<P, S>>,
     cell: SnapshotCell<S>,
     /// Highest fully published epoch, guarded for `wait_published`.
     published: Mutex<u64>,
@@ -160,15 +176,14 @@ impl<P, S> std::fmt::Debug for SnapshotHub<P, S> {
 }
 
 impl<P, S> SnapshotHub<P, S> {
-    pub(crate) fn new(
-        shards: usize,
-        assemble: Box<dyn Fn(u64, Vec<P>) -> S + Send + Sync>,
-    ) -> Self {
+    pub(crate) fn new(shards: usize, assemble: Box<dyn FnMut(u64, Vec<P>) -> S + Send>) -> Self {
         SnapshotHub {
             shards,
             epochs: AtomicU64::new(0),
-            assemble,
-            pending: Mutex::new(Vec::new()),
+            state: Mutex::new(HubState {
+                pending: Vec::new(),
+                assemble,
+            }),
             cell: SnapshotCell::new(),
             published: Mutex::new(0),
             published_cv: Condvar::new(),
@@ -185,36 +200,37 @@ impl<P, S> SnapshotHub<P, S> {
     /// Delivers shard `shard`'s frozen part of `epoch`; assembles and
     /// publishes the snapshot when this was the last missing part.
     pub(crate) fn deliver(&self, epoch: u64, shard: usize, part: P) {
-        let mut pending = self.pending.lock().expect("snapshot hub poisoned");
-        let idx = match pending.iter().position(|p| p.epoch == epoch) {
+        let mut state = self.state.lock().expect("snapshot hub poisoned");
+        let idx = match state.pending.iter().position(|p| p.epoch == epoch) {
             Some(idx) => idx,
             None => {
-                pending.push(PendingEpoch {
+                state.pending.push(PendingEpoch {
                     epoch,
                     delivered: 0,
                     parts: (0..self.shards).map(|_| None).collect(),
                 });
-                pending.len() - 1
+                state.pending.len() - 1
             }
         };
-        let entry = &mut pending[idx];
+        let entry = &mut state.pending[idx];
         debug_assert!(entry.parts[shard].is_none(), "duplicate delivery");
         entry.parts[shard] = Some(part);
         entry.delivered += 1;
         if entry.delivered < self.shards {
             return;
         }
-        let entry = pending.swap_remove(idx);
+        let entry = state.pending.swap_remove(idx);
         let parts: Vec<P> = entry
             .parts
             .into_iter()
             .map(|p| p.expect("complete epoch missing a part"))
             .collect();
-        // Assemble and swap while still holding the pending lock: delivery
-        // order is the publication order, so the cell only moves forward.
+        // Assemble and swap while still holding the state lock: delivery
+        // order is the publication order, so the stateful assembler sees
+        // epochs strictly in order and the cell only moves forward.
         self.cell
-            .publish(epoch, Arc::new((self.assemble)(epoch, parts)));
-        drop(pending);
+            .publish(epoch, Arc::new((state.assemble)(epoch, parts)));
+        drop(state);
         let mut published = self.published.lock().expect("published counter poisoned");
         if epoch > *published {
             *published = epoch;
@@ -239,16 +255,48 @@ impl<P, S> SnapshotHub<P, S> {
     pub(crate) fn latest(&self) -> Option<Arc<S>> {
         self.cell.load()
     }
+
+    /// `true` when every allocated epoch has been published — no freeze
+    /// jobs are in flight anywhere. Callers must hold whatever lock
+    /// serializes `begin_epoch` (the engines' router lock) for the answer
+    /// to stay true while they act on it.
+    pub(crate) fn quiescent(&self) -> bool {
+        *self.published.lock().expect("published counter poisoned") ==
+            self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Publishes `f(latest)` as `epoch` without involving the workers: the
+    /// unchanged-engine short circuit. The caller must have allocated
+    /// `epoch` via [`Self::begin_epoch`] while the hub was [quiescent]
+    /// (`Self::quiescent`) — under the same lock that serializes epoch
+    /// allocation — so no worker-delivered epoch can race this
+    /// publication. Returns `false` (and publishes nothing) when nothing
+    /// was published yet.
+    pub(crate) fn publish_restamped(&self, epoch: u64, f: impl FnOnce(&S) -> S) -> bool {
+        let Some(latest) = self.cell.load() else {
+            return false;
+        };
+        self.cell.publish(epoch, Arc::new(f(&latest)));
+        let mut published = self.published.lock().expect("published counter poisoned");
+        if epoch > *published {
+            *published = epoch;
+        }
+        self.published_cv.notify_all();
+        drop(published);
+        true
+    }
 }
 
-/// Hub specialization used by [`crate::ShardedEstimator`].
-pub(crate) type EstimatorHub<K> = SnapshotHub<FrozenWindow<K>, EngineSnapshot<K>>;
+/// Hub specialization used by [`crate::ShardedEstimator`]: workers deliver
+/// **incremental patches**, the stateful assembler folds them onto
+/// persistent per-shard [`DeltaWindow`]s (PR 8).
+pub(crate) type EstimatorHub<K> = SnapshotHub<WindowPatch<K>, EngineSnapshot<K>>;
 /// Hub specialization used by [`crate::ShardedHhh`].
 pub(crate) type HhhHub<Hi> = SnapshotHub<FrozenHhh<Hi>, HhhEngineSnapshot<Hi>>;
 
 /// An immutable merged view of a [`crate::ShardedEstimator`] at one
-/// publication epoch: one [`FrozenWindow`] per shard, all anchored at the
-/// same global stream position.
+/// publication epoch: one delta-maintained [`DeltaWindow`] per shard, all
+/// anchored at the same global stream position.
 ///
 /// Implements [`WindowQuery`] with exactly the merge rules of the live
 /// engine — per-flow estimates answered by the owning shard (same
@@ -256,12 +304,17 @@ pub(crate) type HhhHub<Hi> = SnapshotHub<FrozenHhh<Hi>, HhhEngineSnapshot<Hi>>;
 /// re-sorted by descending estimate, `processed` the per-shard maximum — so
 /// snapshot answers are bit-for-bit what the FIFO path would have returned
 /// at the publication point.
+///
+/// The per-shard views are persistent structures (PR 8): cloning one into
+/// a snapshot shares all of its entry storage with the assembler's working
+/// copy, so a publication allocates proportionally to the slots *changed*
+/// since the previous epoch, not to the summary size.
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot<K> {
     epoch: u64,
     name: &'static str,
     error_bound: f64,
-    shards: Vec<FrozenWindow<K>>,
+    shards: Vec<DeltaWindow<K>>,
 }
 
 impl<K: Eq + Hash + Clone> EngineSnapshot<K> {
@@ -269,13 +322,23 @@ impl<K: Eq + Hash + Clone> EngineSnapshot<K> {
         epoch: u64,
         name: &'static str,
         error_bound: f64,
-        shards: Vec<FrozenWindow<K>>,
+        shards: Vec<DeltaWindow<K>>,
     ) -> Self {
         EngineSnapshot {
             epoch,
             name,
             error_bound,
             shards,
+        }
+    }
+
+    /// The same merged view re-stamped as a newer epoch: the
+    /// unchanged-engine publication short circuit (nothing was ingested
+    /// since `self` was assembled, so only the epoch moves).
+    pub(crate) fn restamped(&self, epoch: u64) -> Self {
+        EngineSnapshot {
+            epoch,
+            ..self.clone()
         }
     }
 
@@ -290,8 +353,8 @@ impl<K: Eq + Hash + Clone> EngineSnapshot<K> {
         self.shards.len()
     }
 
-    /// The per-shard frozen summaries, in shard order.
-    pub fn per_shard(&self) -> &[FrozenWindow<K>] {
+    /// The per-shard merged views, in shard order.
+    pub fn per_shard(&self) -> &[DeltaWindow<K>] {
         &self.shards
     }
 }
@@ -599,5 +662,42 @@ mod tests {
         hub.deliver(e2, 1, 20);
         hub.wait_published(e2);
         assert_eq!(*hub.latest().expect("e2 complete"), 2022);
+    }
+
+    #[test]
+    fn stateful_assembler_accumulates_across_epochs() {
+        // The PR 8 contract: the assembler is FnMut and owns merge state
+        // that persists from epoch to epoch (the estimator engines fold
+        // incremental patches onto it).
+        let mut total = 0u64;
+        let hub: SnapshotHub<u64, u64> = SnapshotHub::new(
+            1,
+            Box::new(move |_, parts| {
+                total += parts[0];
+                total
+            }),
+        );
+        for (part, expected) in [(3u64, 3u64), (4, 7), (10, 17)] {
+            let epoch = hub.begin_epoch();
+            hub.deliver(epoch, 0, part);
+            assert_eq!(*hub.latest().expect("published"), expected);
+        }
+    }
+
+    #[test]
+    fn restamp_republishes_the_latest_snapshot_under_a_new_epoch() {
+        let hub: SnapshotHub<u64, (u64, u64)> =
+            SnapshotHub::new(1, Box::new(|epoch, parts| (epoch, parts[0])));
+        // Nothing published yet: the short circuit must refuse.
+        let bare = hub.begin_epoch();
+        assert!(!hub.publish_restamped(bare, |s| *s));
+        hub.deliver(bare, 0, 42);
+        assert!(hub.quiescent());
+        let e2 = hub.begin_epoch();
+        assert!(!hub.quiescent(), "allocated epoch counts as in flight");
+        assert!(hub.publish_restamped(e2, |&(_, payload)| (e2, payload)));
+        hub.wait_published(e2);
+        assert_eq!(*hub.latest().expect("restamped"), (e2, 42));
+        assert!(hub.quiescent());
     }
 }

@@ -81,6 +81,43 @@ pub struct ProbeStats {
     pub max_words_per_probe: usize,
 }
 
+/// Change journal accumulated between two [`CompactMap::drain_journal`]
+/// calls (see [`CompactMap::enable_journal`]). Boxed behind an `Option` so
+/// maps that never snapshot (the shard routers) pay one null check per
+/// write, nothing more.
+#[derive(Debug, Clone)]
+struct MapJournal<K> {
+    /// One bit per slot: the slot's payload changed (insert, value update,
+    /// or an existing entry moved here by backward-shift deletion) since
+    /// the last drain.
+    dirty: Vec<u64>,
+    /// Keys removed since the last drain. A removed key may have been
+    /// re-inserted afterwards; consumers must check the live map.
+    removed: Vec<K>,
+    /// Set when slot identity was invalidated wholesale (`clear`, `grow`):
+    /// per-slot tracking is suspended and the next drain reports a full
+    /// rebuild.
+    all_dirty: bool,
+}
+
+/// The drained contents of a [`CompactMap`] change journal, as returned by
+/// [`CompactMap::drain_journal`]. When `all_dirty` is set the per-slot and
+/// per-key lists are empty and meaningless — the consumer must re-read the
+/// whole map.
+#[derive(Debug)]
+pub struct MapJournalDrain<K> {
+    /// Slot identity was invalidated wholesale (`clear` or a resize) since
+    /// the last drain; rebuild instead of patching.
+    pub all_dirty: bool,
+    /// Slots whose payload changed since the last drain, ascending. A listed
+    /// slot may be empty *now* (its entry was removed or shifted away); read
+    /// the live map via [`CompactMap::slot_entry`].
+    pub dirty_slots: Vec<usize>,
+    /// Keys removed since the last drain (possibly re-inserted later; check
+    /// the live map before treating one as gone).
+    pub removed: Vec<K>,
+}
+
 /// A flat, power-of-two, linear-probing hash map with a separate one-byte
 /// fingerprint array and backward-shift deletion. See the module docs for
 /// the design rationale; see `tests/proptest_compact_map.rs` for the
@@ -97,6 +134,9 @@ pub struct CompactMap<K, V> {
     mask: usize,
     /// Occupied slot count.
     len: usize,
+    /// Change journal for incremental snapshot publication; `None` until
+    /// [`Self::enable_journal`].
+    journal: Option<Box<MapJournal<K>>>,
 }
 
 impl<K: Eq + Hash, V> Default for CompactMap<K, V> {
@@ -128,6 +168,86 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
             entries,
             mask: slots - 1,
             len: 0,
+            journal: None,
+        }
+    }
+
+    /// Starts recording per-slot changes for incremental snapshots
+    /// ([`Self::drain_journal`]). The journal opens in the `all_dirty`
+    /// state so the first drain after enabling always reports a full
+    /// rebuild. Idempotent; maps that never enable the journal pay one
+    /// null check per write.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Box::new(MapJournal {
+                dirty: vec![0; self.ctrl.len().div_ceil(64)],
+                removed: Vec::new(),
+                all_dirty: true,
+            }));
+        }
+    }
+
+    /// True once [`Self::enable_journal`] has been called.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Takes everything recorded since the previous drain and resets the
+    /// journal to clean. Returns `None` when the journal was never enabled.
+    pub fn drain_journal(&mut self) -> Option<MapJournalDrain<K>> {
+        let j = self.journal.as_deref_mut()?;
+        let mut dirty_slots = Vec::new();
+        if !j.all_dirty {
+            for (w, &word) in j.dirty.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    dirty_slots.push(w * 64 + bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+            }
+        }
+        let drained = MapJournalDrain {
+            all_dirty: j.all_dirty,
+            dirty_slots,
+            removed: std::mem::take(&mut j.removed),
+        };
+        j.dirty.clear();
+        j.dirty.resize(self.ctrl.len().div_ceil(64), 0);
+        j.all_dirty = false;
+        Some(drained)
+    }
+
+    /// Records `slot` as changed. No-op without a journal or after a
+    /// wholesale invalidation (the pending rebuild supersedes per-slot
+    /// marks).
+    #[inline]
+    fn journal_mark(&mut self, slot: usize) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            if !j.all_dirty {
+                j.dirty[slot / 64] |= 1 << (slot % 64);
+            }
+        }
+    }
+
+    /// Records `key` as removed, consuming the owned key the removal freed
+    /// (no clone on the removal path).
+    #[inline]
+    fn journal_removed(&mut self, key: K) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            if !j.all_dirty {
+                j.removed.push(key);
+            }
+        }
+    }
+
+    /// Suspends per-slot tracking until the next drain: slot identity was
+    /// invalidated wholesale (`clear`, `grow`).
+    #[inline]
+    fn journal_invalidate(&mut self) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.all_dirty = true;
+            j.removed.clear();
+            j.dirty.clear();
         }
     }
 
@@ -419,8 +539,25 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
     /// Mutable reference to the value stored for `key`.
     #[inline]
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let i = self.find(key)?;
+        // The caller may write through the reference: journal conservatively.
+        self.journal_mark(i);
+        Some(&mut self.entries[i].as_mut().expect("occupied slot").1)
+    }
+
+    /// Slot holding `key`, if present — the stable per-table identity the
+    /// incremental snapshot path uses as a tie-breaking rank (slots only
+    /// change on removal shifts and resizes, both journaled).
+    #[inline]
+    pub fn slot_of(&self, key: &K) -> Option<usize> {
         self.find(key)
-            .map(|i| &mut self.entries[i].as_mut().expect("occupied slot").1)
+    }
+
+    /// The `(key, value)` stored in `slot`, if the slot is occupied. The
+    /// journal consumer reads dirty slots through this.
+    #[inline]
+    pub fn slot_entry(&self, slot: usize) -> Option<(&K, &V)> {
+        self.entries.get(slot)?.as_ref().map(|(k, v)| (k, v))
     }
 
     /// True when the map holds `key`.
@@ -438,6 +575,7 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
         self.entries[slot] = Some((key, value));
         self.ctrl[slot] = fp;
         self.len += 1;
+        self.journal_mark(slot);
     }
 
     /// Installs `key → value` in the first empty slot of its probe
@@ -462,7 +600,9 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
         match self.probe(&key) {
             Ok(i) => {
                 let slot = self.entries[i].as_mut().expect("occupied slot");
-                Some(std::mem::replace(&mut slot.1, value))
+                let previous = std::mem::replace(&mut slot.1, value);
+                self.journal_mark(i);
+                Some(previous)
             }
             Err((slot, fp)) => {
                 if self.len + 1 > self.max_load() {
@@ -484,7 +624,11 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
     /// `default` leaves the map unchanged.
     pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
         let i = match self.probe(&key) {
-            Ok(i) => i,
+            Ok(i) => {
+                // The caller gets `&mut V`: journal conservatively.
+                self.journal_mark(i);
+                i
+            }
             Err((slot, fp)) => {
                 if self.len + 1 > self.max_load() {
                     // Evaluate the default before growing: an unwinding
@@ -508,9 +652,10 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
     /// moves back over the vacated slot, leaving no tombstone.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let mut hole = self.find(key)?;
-        let (_, value) = self.entries[hole].take().expect("occupied slot");
+        let (removed_key, value) = self.entries[hole].take().expect("occupied slot");
         self.ctrl[hole] = EMPTY;
         self.len -= 1;
+        self.journal_removed(removed_key);
         // Knuth's Algorithm R on a circular table: walk the cluster after
         // the hole; any entry whose home position is cyclically outside
         // (hole, j] would become unreachable through the hole — move it
@@ -539,6 +684,8 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
                 self.entries[hole] = self.entries[j].take();
                 self.ctrl[hole] = self.ctrl[j];
                 self.ctrl[j] = EMPTY;
+                // The shifted entry changed slots: its rank is stale.
+                self.journal_mark(hole);
                 hole = j;
             }
         }
@@ -554,6 +701,7 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
             *slot = None;
         }
         self.len = 0;
+        self.journal_invalidate();
     }
 
     /// Iterates over `(&key, &value)` pairs in unspecified order.
@@ -573,6 +721,7 @@ impl<K: Eq + Hash, V> CompactMap<K, V> {
 
     /// Doubles the table and re-inserts every entry.
     fn grow(&mut self) {
+        self.journal_invalidate();
         let slots = self.ctrl.len() * 2;
         let old_entries = std::mem::take(&mut self.entries);
         self.ctrl = vec![EMPTY; slots];
@@ -819,6 +968,79 @@ mod tests {
                 "shard 0 of {shards}: {} control-word loads per probe",
                 stats.mean_words_per_probe
             );
+        }
+    }
+
+    #[test]
+    fn journal_records_writes_removals_and_invalidations() {
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(64);
+        assert!(m.drain_journal().is_none(), "journal off by default");
+        m.insert(1, 10);
+        m.enable_journal();
+        // The first drain after enabling always reports a full rebuild.
+        assert!(m.drain_journal().unwrap().all_dirty);
+        m.insert(2, 20);
+        m.insert(1, 11);
+        *m.get_or_insert_with(3, || 0) += 5;
+        let d = m.drain_journal().unwrap();
+        assert!(!d.all_dirty);
+        let keys: std::collections::HashSet<u64> = d
+            .dirty_slots
+            .iter()
+            .map(|&s| *m.slot_entry(s).unwrap().0)
+            .collect();
+        assert!(keys.contains(&1) && keys.contains(&2) && keys.contains(&3));
+        assert!(d.removed.is_empty());
+        m.remove(&2);
+        let d = m.drain_journal().unwrap();
+        assert_eq!(d.removed, vec![2]);
+        m.clear();
+        assert!(m.drain_journal().unwrap().all_dirty, "clear invalidates");
+        let d = m.drain_journal().unwrap();
+        assert!(!d.all_dirty && d.dirty_slots.is_empty() && d.removed.is_empty());
+    }
+
+    #[test]
+    fn journal_flags_resize_as_all_dirty() {
+        let mut m: CompactMap<u64, u64> = CompactMap::new();
+        m.enable_journal();
+        m.drain_journal();
+        for i in 0..100 {
+            m.insert(i, i); // forces several grows past MIN_SLOTS
+        }
+        assert!(m.drain_journal().unwrap().all_dirty);
+    }
+
+    #[test]
+    fn journal_marks_backward_shifted_slots() {
+        // Every key whose slot changes during removal churn must have its
+        // *new* slot journaled, or an incremental snapshot would keep the
+        // stale rank.
+        let mut m: CompactMap<u64, u64> = CompactMap::with_capacity(64);
+        for i in 0..56 {
+            m.insert(i, i);
+        }
+        m.enable_journal();
+        m.drain_journal();
+        let before: Vec<(u64, usize)> = (0..56u64)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (i, m.slot_of(&i).unwrap()))
+            .collect();
+        for i in (0..56u64).step_by(3) {
+            m.remove(&i);
+        }
+        let d = m.drain_journal().unwrap();
+        assert!(!d.all_dirty);
+        assert_eq!(d.removed.len(), 19);
+        let dirty: std::collections::HashSet<usize> = d.dirty_slots.into_iter().collect();
+        for (k, old_slot) in before {
+            let new_slot = m.slot_of(&k).unwrap();
+            if new_slot != old_slot {
+                assert!(
+                    dirty.contains(&new_slot),
+                    "key {k} moved {old_slot}→{new_slot} without a journal mark"
+                );
+            }
         }
     }
 

@@ -7,6 +7,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
+use crate::compact_map::{CompactMap, MapJournalDrain};
+
 /// Exact interval counter: counts every occurrence since creation or the last
 /// [`ExactInterval::reset`]. This models the paper's "Interval" measurement
 /// discipline at its most accurate.
@@ -68,7 +70,9 @@ impl<K: Eq + Hash + Clone> ExactInterval<K> {
 /// Exact sliding-window counter over the last `window` *stream positions*.
 ///
 /// Keeps a ring buffer of the position-stamped keys still inside the window
-/// plus a hash map of their counts, so both update and query are O(1)
+/// plus a [`CompactMap`] of their counts (the same journaled open-addressing
+/// table as the approximate structures, so incremental snapshots get slot
+/// ranks and dirty tracking for free), so both update and query are O(1)
 /// (amortized) and memory is O(window) — exactly the cost the paper's
 /// approximate algorithms avoid.
 ///
@@ -86,7 +90,7 @@ pub struct ExactWindow<K: Eq + Hash + Clone> {
     /// Recorded items still inside the window, oldest first, each stamped
     /// with the (1-based) global stream position at which it was recorded.
     ring: VecDeque<(u64, K)>,
-    counts: HashMap<K, u64>,
+    counts: CompactMap<K, u64>,
     /// Global stream position: recorded items plus skipped packets.
     processed: u64,
 }
@@ -101,9 +105,38 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
         ExactWindow {
             window,
             ring: VecDeque::with_capacity(window),
-            counts: HashMap::new(),
+            counts: CompactMap::new(),
             processed: 0,
         }
+    }
+
+    /// Starts recording per-slot count changes for incremental snapshots
+    /// ([`CompactMap::enable_journal`]). Idempotent.
+    pub fn enable_journal(&mut self) {
+        self.counts.enable_journal();
+    }
+
+    /// True once [`Self::enable_journal`] has been called.
+    pub fn journal_enabled(&self) -> bool {
+        self.counts.journal_enabled()
+    }
+
+    /// Takes everything recorded since the previous drain
+    /// ([`CompactMap::drain_journal`]).
+    pub fn drain_journal(&mut self) -> Option<MapJournalDrain<K>> {
+        self.counts.drain_journal()
+    }
+
+    /// Count-table slot holding `key`, if present ([`CompactMap::slot_of`])
+    /// — the tie-breaking rank of the incremental snapshot path.
+    pub fn slot_of(&self, key: &K) -> Option<usize> {
+        self.counts.slot_of(key)
+    }
+
+    /// The `(key, count)` stored in `slot`, if occupied
+    /// ([`CompactMap::slot_entry`]).
+    pub fn slot_entry(&self, slot: usize) -> Option<(&K, u64)> {
+        self.counts.slot_entry(slot).map(|(k, &c)| (k, c))
     }
 
     /// The window size `W`.
@@ -128,7 +161,7 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
     pub fn add(&mut self, key: K) {
         self.processed += 1;
         self.ring.push_back((self.processed, key.clone()));
-        *self.counts.entry(key).or_insert(0) += 1;
+        *self.counts.get_or_insert_with(key, || 0) += 1;
         self.evict_expired();
     }
 

@@ -39,10 +39,10 @@ pub mod sampling;
 pub mod space_saving;
 pub mod stream_summary;
 
-pub use compact_map::{CompactMap, ProbeStats};
+pub use compact_map::{CompactMap, MapJournalDrain, ProbeStats};
 pub use exact::{ExactInterval, ExactWindow};
 pub use fasthash::{FastBuildHasher, FastHasher};
 pub use overflow_queue::OverflowQueue;
 pub use sampling::{GeometricSampler, PrefixSampler, Sampler, TableSampler};
 pub use space_saving::{CounterSnapshot, SpaceSaving};
-pub use stream_summary::StreamSummary;
+pub use stream_summary::{StreamSummary, SummaryJournalDrain};

@@ -195,6 +195,35 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         self.summary.min_count()
     }
 
+    /// Starts recording per-slot changes for incremental snapshots
+    /// ([`StreamSummary::enable_journal`]). Idempotent.
+    pub fn enable_journal(&mut self) {
+        self.summary.enable_journal();
+    }
+
+    /// True once [`Self::enable_journal`] has been called.
+    pub fn journal_enabled(&self) -> bool {
+        self.summary.journal_enabled()
+    }
+
+    /// Takes everything recorded since the previous drain
+    /// ([`StreamSummary::drain_journal`]).
+    pub fn drain_journal(&mut self) -> Option<crate::stream_summary::SummaryJournalDrain<K>> {
+        self.summary.drain_journal()
+    }
+
+    /// SoA slot holding `key`, if monitored ([`StreamSummary::slot_of`]) —
+    /// the tie-breaking rank of the incremental snapshot path.
+    pub fn slot_of(&self, key: &K) -> Option<usize> {
+        self.summary.slot_of(key)
+    }
+
+    /// The `(key, count, error)` stored in `slot`, if occupied
+    /// ([`StreamSummary::slot_entry`]).
+    pub fn slot_entry(&self, slot: usize) -> Option<(&K, u64, u64)> {
+        self.summary.slot_entry(slot)
+    }
+
     /// Clears all counters (Memento calls this at every frame boundary).
     pub fn flush(&mut self) {
         self.summary.clear();

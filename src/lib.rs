@@ -46,7 +46,7 @@ pub use memento_traces as traces;
 
 pub use memento_baselines::{ExactWindowHhh, Mst, Rhhh, WindowMst};
 pub use memento_core::{analysis, traits, HMemento, Memento, Wcss};
-pub use memento_core::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
+pub use memento_core::{DeltaWindow, FrozenHhh, FrozenWindow, HhhQuery, WindowPatch, WindowQuery};
 pub use memento_core::{HhhAlgorithm, SlidingWindowEstimator};
 pub use memento_hierarchy::{Hierarchy, Prefix1D, Prefix2D, SrcDstHierarchy, SrcHierarchy};
 pub use memento_netwide::{CommMethod, DHMementoController, DMementoController, NetworkSimulator};

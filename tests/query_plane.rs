@@ -8,6 +8,10 @@
 //!   `SnapshotReader` while the engine ingests and publishes every batch;
 //!   every observed snapshot must be internally consistent (one epoch, all
 //!   shards present) and every thread's view monotone.
+//! * A publish-rate sweep (PR 8): the delta-publication plane applies
+//!   incremental patches at whatever cadence the policy dictates, so
+//!   engines publishing every 1, 2 and 64 batches must answer bit-for-bit
+//!   identically at every query point.
 
 use memento::sketches::fasthash;
 use memento::traits::SlidingWindowEstimator;
@@ -258,4 +262,71 @@ fn reader_staleness_is_bounded_by_publications() {
         (1_000.0..=1_000.0 + 4.0 * 10_000.0 / 128.0).contains(&est),
         "est = {est}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PR 8 satellite: the publication cadence must never change an answer.
+    /// Identical engines driven by the same stream but publishing every 1,
+    /// 2 and 64 shipped batches group the incremental patches differently —
+    /// many small deltas versus few large ones — yet at every query point
+    /// their estimates, heavy-hitter lists (including order) and stream
+    /// positions are bit-for-bit identical, and equal to the
+    /// flush-then-FIFO reference. The repeated per-key queries after the
+    /// first forced publication also exercise the unchanged-engine restamp
+    /// short circuit inside a differential check.
+    #[test]
+    fn publish_rate_sweep_is_bitwise_invariant(
+        raw in prop::collection::vec(0u64..50, 400..900),
+        window in 200usize..2_000,
+    ) {
+        let mut engines: Vec<ShardedEstimator<u64>> = [1usize, 2, 64]
+            .into_iter()
+            .map(|every_batches| {
+                let mut engine = ShardedEstimator::memento(2, 64, window, 0.25, 11)
+                    .with_policy(PublishPolicy {
+                        every_batches,
+                        on_query: true,
+                    });
+                // A small ship batch makes the cadences actually diverge
+                // (the default threshold would ship once per chunk).
+                #[allow(deprecated)]
+                engine.set_flush_threshold(32);
+                engine
+            })
+            .collect();
+        for chunk in raw.chunks(97) {
+            for engine in &mut engines {
+                engine.update_batch(chunk);
+            }
+            for key in 0..50u64 {
+                let answers: Vec<u64> = engines
+                    .iter()
+                    .map(|e| e.estimate(&key).to_bits())
+                    .collect();
+                assert_eq!(answers[0], answers[1], "key {key}: rate 1 vs 2");
+                assert_eq!(answers[1], answers[2], "key {key}: rate 2 vs 64");
+                assert_eq!(
+                    answers[2],
+                    fifo_estimate(&engines[2], key).to_bits(),
+                    "key {key}: snapshot vs FIFO"
+                );
+            }
+            let hh: Vec<Vec<(u64, u64)>> = engines
+                .iter()
+                .map(|e| {
+                    e.heavy_hitters(1.0)
+                        .into_iter()
+                        .map(|(k, v)| (k, v.to_bits()))
+                        .collect()
+                })
+                .collect();
+            assert_eq!(hh[0], hh[1], "heavy hitters: rate 1 vs 2");
+            assert_eq!(hh[1], hh[2], "heavy hitters: rate 2 vs 64");
+            let positions: Vec<u64> = engines.iter().map(|e| e.processed()).collect();
+            assert_eq!(positions[0], positions[1]);
+            assert_eq!(positions[1], positions[2]);
+        }
+    }
 }

@@ -16,7 +16,15 @@
 //! * sharded accuracy blows up on the skewed workload (schema v2): a
 //!   sharded configuration's on-arrival RMSE exceeding 2× its single-shard
 //!   reference means the global-position windows regressed to the old
-//!   `W/N` under-coverage failure mode.
+//!   `W/N` under-coverage failure mode, or
+//! * the `bursty-replay` row — the trace replayed *at recorded timestamps*
+//!   (idle-gap floods, then a diurnal rotation) through the grain-mapped
+//!   `TimedWindow<Memento>` — drifts beyond its bound against the exact
+//!   time-window oracle (grain-quantization reference + sketch error
+//!   headroom).
+//!
+//! The machine-speed calibration figure that normalizes baseline
+//! comparisons is the median of three runs of the fixed integer workload.
 //!
 //! When `GITHUB_STEP_SUMMARY` is set (GitHub Actions), the gate verdict is
 //! also appended there as markdown.
@@ -34,11 +42,15 @@ use memento_bench::gate::{
     calibration_mops, check_rmse_blowup, compare_throughput, GateReport, GateRow,
     GATE_SCHEMA_VERSION,
 };
-use memento_bench::{full_scale, make_trace, measure_mpps, on_arrival_rmse, scaled};
+use memento_bench::{
+    full_scale, make_trace, measure_mpps, on_arrival_rmse, on_arrival_rmse_timed, scaled,
+    stamp_bursty_then_diurnal,
+};
 use memento_core::traits::SlidingWindowEstimator;
-use memento_core::{Memento, Wcss, WindowQuery};
+use memento_core::{Memento, TimedWindow, Wcss, WindowQuery};
 use memento_shard::{PublishPolicy, ShardedEstimator};
-use memento_traces::{Packet, TracePreset};
+use memento_sketches::ExactWindow;
+use memento_traces::{ArrivalModel, Packet, TracePreset};
 
 /// Packet-burst size fed to `update_batch` (a NIC-burst-like unit, same for
 /// every configuration so the comparison is fair).
@@ -56,6 +68,17 @@ const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
 /// accuracy at the single-shard level, so 2× is generous headroom — the
 /// old count-based `W/N` windows sat at ~27×.
 const RMSE_BLOWUP_LIMIT: f64 = 2.0;
+
+/// Grains of the `bursty-replay` row's [`TimedWindow`] — the production
+/// default resolution (the load balancer uses 64 as well).
+const REPLAY_GRAINS: u64 = 64;
+
+/// Mean inter-arrival gap inside a flood, in nanoseconds. The row's time
+/// window is `REPLAY_FLOOD_GAP_NANOS × W` ticks, so a sustained flood
+/// arrives at exactly the provisioned positions-per-grain rate — the
+/// boundary where the grain schedule is fully loaded but overruns stay
+/// within jitter.
+const REPLAY_FLOOD_GAP_NANOS: u64 = 100;
 
 struct GateConfig {
     packets: usize,
@@ -90,10 +113,8 @@ fn main() {
         "perf_gate: generating {} packets of the {} preset (seed {})...",
         config.packets, preset.name, config.seed
     );
-    let keys: Vec<u64> = make_trace(&preset, config.packets, config.seed)
-        .iter()
-        .map(Packet::flow)
-        .collect();
+    let packets = make_trace(&preset, config.packets, config.seed);
+    let keys: Vec<u64> = packets.iter().map(Packet::flow).collect();
     let accuracy_keys = &keys[..config.accuracy_packets.min(keys.len())];
 
     let mut rows = Vec::new();
@@ -174,6 +195,12 @@ fn main() {
     // snapshot after *every* shipped batch.
     rows.push(measure_publish_heavy_row(&config, &preset, &keys));
 
+    // The PR 9 time-plane row: the same trace replayed at recorded
+    // timestamps (idle-gap floods, then a diurnal rotation) through a
+    // grain-mapped `TimedWindow<Memento>`.
+    let (replay_row, replay_quant_rmse) = measure_bursty_replay_row(&config, &packets);
+    rows.push(replay_row);
+
     let calibration = calibration_mops();
     eprintln!("perf_gate: calibration workload: {calibration:.0} mops single-core");
 
@@ -208,6 +235,7 @@ fn main() {
     let mut failures = Vec::new();
     check_speedup(&report, &mut failures);
     check_reader_overhead(&report, &mut failures);
+    check_bursty_rmse(&report, replay_quant_rmse, &mut failures);
 
     // Schema-v2 accuracy rule: sharded on-arrival RMSE must track the
     // single-shard reference on the skewed workload.
@@ -418,14 +446,8 @@ fn measure_publish_heavy_row(config: &GateConfig, preset: &TracePreset, keys: &[
     };
     let make = || {
         Box::new(
-            ShardedEstimator::memento(
-                4,
-                config.counters,
-                config.window,
-                config.tau,
-                config.seed,
-            )
-            .with_policy(policy),
+            ShardedEstimator::memento(4, config.counters, config.window, config.tau, config.seed)
+                .with_policy(policy),
         )
     };
     let mut best = 0.0f64;
@@ -461,6 +483,124 @@ fn measure_publish_heavy_row(config: &GateConfig, preset: &TracePreset, keys: &[
         workload: preset.name.to_string(),
         mpps: best,
         on_arrival_rmse: Some(rmse.value()),
+    }
+}
+
+/// Measures the `bursty-replay` row: the trace replayed *at recorded
+/// timestamps* through a grain-mapped `TimedWindow<Memento>`. The arrival
+/// clock is the time plane's worst case — idle-gap/flood bursts for the
+/// first half (each idle gap outruns the whole ring and takes the
+/// wholesale-clear path; each flood loads the grain schedule to its
+/// provisioned rate), then a diurnal fast/slow rotation spanning many
+/// windows. Throughput drives [`TimedWindow::record_timed`] in
+/// [`CHUNK`]-sized slices (the gap-stamped batch fast path); accuracy is
+/// on-arrival RMSE against an exact *time*-window oracle over the same
+/// span. Also returns the RMSE of a `TimedWindow<ExactWindow>` with the
+/// identical geometry on the identical arrivals — the pure
+/// grain-quantization error [`check_bursty_rmse`] separates from the
+/// sketch error.
+fn measure_bursty_replay_row(config: &GateConfig, packets: &[Packet]) -> (GateRow, f64) {
+    let window_positions = config.window as u64;
+    let window_ticks = REPLAY_FLOOD_GAP_NANOS * window_positions;
+    // Floods of W/4 packets separated by idle gaps of two full windows
+    // (every gap clears the ring wholesale); the diurnal tail alternates
+    // the provisioned rate with 1/16th of it every W/2 packets.
+    let bursty = ArrivalModel::Bursty {
+        burst_len: (window_positions / 4).max(1),
+        flood_gap_nanos: REPLAY_FLOOD_GAP_NANOS,
+        idle_nanos: 2 * window_ticks,
+    };
+    let diurnal = ArrivalModel::Diurnal {
+        fast_gap_nanos: REPLAY_FLOOD_GAP_NANOS,
+        slow_gap_nanos: 16 * REPLAY_FLOOD_GAP_NANOS,
+        period: (window_positions / 2).max(1),
+    };
+    let arrivals = stamp_bursty_then_diurnal(packets, bursty, diurnal, config.seed);
+
+    let make_timed = || {
+        TimedWindow::with_grains(
+            Memento::new(config.counters, config.window, config.tau, config.seed),
+            window_ticks,
+            window_positions,
+            REPLAY_GRAINS,
+        )
+    };
+    let mut best = 0.0f64;
+    let mut clears = 0u64;
+    for _ in 0..PASSES {
+        let mut timed = make_timed();
+        let mpps = measure_mpps(arrivals.len(), || {
+            for part in arrivals.chunks(CHUNK) {
+                timed.record_timed(part);
+            }
+        });
+        best = best.max(mpps);
+        clears = timed.whole_window_advances();
+    }
+
+    let accuracy_arrivals = &arrivals[..config.accuracy_packets.min(arrivals.len())];
+    let mut timed = make_timed();
+    let rmse = on_arrival_rmse_timed(&mut timed, accuracy_arrivals, config.probe_every);
+    // The quantization reference: an exact count window behind the same
+    // grain clock, so its only error against the time oracle is the grain
+    // mapping itself.
+    let mut quant_ref = TimedWindow::with_grains(
+        ExactWindow::new(config.window),
+        window_ticks,
+        window_positions,
+        REPLAY_GRAINS,
+    );
+    let quant_rmse =
+        on_arrival_rmse_timed(&mut quant_ref, accuracy_arrivals, config.probe_every).value();
+    eprintln!(
+        "perf_gate: bursty-replay@1: {best:.2} mpps, on-arrival RMSE {:.2} over {} probes \
+         (quantization reference {quant_rmse:.2}, {clears} wholesale clears)",
+        rmse.value(),
+        rmse.count()
+    );
+    (
+        GateRow {
+            algorithm: "bursty-replay".to_string(),
+            shards: 1,
+            tau: config.tau,
+            counters: config.counters,
+            workload: "bursty-replay".to_string(),
+            mpps: best,
+            on_arrival_rmse: Some(rmse.value()),
+        },
+        quant_rmse,
+    )
+}
+
+/// The PR 9 acceptance check: the `bursty-replay` on-arrival RMSE must be
+/// bounded against the exact time-window baseline. The timed Memento's
+/// error decomposes into grain-quantization error (measured directly by
+/// the exact-inner reference on the same clock) plus sketch error (tracked
+/// by the count-based `memento@1` row); 3× headroom on the sketch term
+/// plus a 5-packet absolute slack absorbs measurement noise.
+fn check_bursty_rmse(report: &GateReport, quant_rmse: f64, failures: &mut Vec<String>) {
+    let (Some(replay), Some(sketch_ref)) =
+        (report.row("bursty-replay", 1), report.row("memento", 1))
+    else {
+        failures.push("bursty RMSE check: bursty-replay@1 or memento@1 row missing".to_string());
+        return;
+    };
+    let (Some(rmse), Some(sketch_rmse)) = (replay.on_arrival_rmse, sketch_ref.on_arrival_rmse)
+    else {
+        failures.push("bursty RMSE check: a required on_arrival_rmse is missing".to_string());
+        return;
+    };
+    let ceiling = quant_rmse + 3.0 * sketch_rmse + 5.0;
+    eprintln!(
+        "perf_gate: bursty-replay on-arrival RMSE {rmse:.1} vs ceiling {ceiling:.1} \
+         (quantization {quant_rmse:.1} + 3x sketch {sketch_rmse:.1} + 5)"
+    );
+    if rmse > ceiling {
+        failures.push(format!(
+            "bursty-replay@1 on-arrival RMSE {rmse:.1} exceeds the time-window bound \
+             {ceiling:.1} (quantization reference {quant_rmse:.1}, count-based sketch \
+             reference {sketch_rmse:.1})"
+        ));
     }
 }
 

@@ -22,9 +22,10 @@ use std::time::Instant;
 
 use memento_baselines::ExactWindowHhh;
 use memento_core::traits::{HhhAlgorithm, SlidingWindowEstimator};
+use memento_core::TimedWindow;
 use memento_hierarchy::Hierarchy;
-use memento_sketches::ExactWindow;
-use memento_traces::{Packet, TraceGenerator, TracePreset};
+use memento_sketches::{ExactTimedWindow, ExactWindow};
+use memento_traces::{ArrivalModel, Packet, TraceGenerator, TracePreset};
 
 /// True when the harness should run at paper scale (`--full` argument or
 /// `MEMENTO_FULL` set to a truthy value — `MEMENTO_FULL=0` explicitly stays
@@ -156,6 +157,63 @@ pub fn on_arrival_rmse<K: Eq + Hash + Clone>(
         exact.add(key.clone());
     }
     rmse
+}
+
+/// The On Arrival error model on the time plane (the gate's
+/// `bursty-replay` row): before each probed arrival the arriving packet's
+/// flow is estimated from the grain-mapped [`TimedWindow`] and compared
+/// against an [`ExactTimedWindow`] oracle spanning the same `window_ticks`
+/// — the true timestamp-eviction window the grain clock quantizes.
+/// Arrivals inside the first `window_ticks` of the clock warm up;
+/// afterwards every `probe_every`-th arrival is scored. `arrivals` is a
+/// `(nanos, flow)` sequence, monotone non-decreasing in time.
+pub fn on_arrival_rmse_timed<E: SlidingWindowEstimator<u64>>(
+    timed: &mut TimedWindow<u64, E>,
+    arrivals: &[(u64, u64)],
+    probe_every: usize,
+) -> Rmse {
+    assert!(probe_every > 0, "probe interval must be positive");
+    let window_ticks = timed.clock().map().window_ticks();
+    let mut oracle: ExactTimedWindow<u64> = ExactTimedWindow::new(window_ticks);
+    let mut rmse = Rmse::new();
+    for (n, &(t, key)) in arrivals.iter().enumerate() {
+        if t > window_ticks && n % probe_every == 0 {
+            oracle.advance_to(t);
+            let exact = oracle.query(&key) as f64;
+            rmse.record(timed.query_at(t).estimate(&key), exact);
+        }
+        timed.record_at(key, t);
+        oracle.add_at(key, t);
+    }
+    rmse
+}
+
+/// Stamps a packet trace with the gate's `bursty-replay` arrival clock: the
+/// first half arrives as idle-gap/flood bursts (stressing the wholesale
+/// clear and the schedule-overrun re-anchor), the second half as a diurnal
+/// fast/slow rate rotation, with the second segment's clock continuing from
+/// the end of the first. Returns monotone `(nanos, flow)` arrivals.
+pub fn stamp_bursty_then_diurnal(
+    packets: &[Packet],
+    bursty: ArrivalModel,
+    diurnal: ArrivalModel,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let mid = packets.len() / 2;
+    let (front, back) = packets.split_at(mid);
+    let mut arrivals: Vec<(u64, u64)> = bursty
+        .stamp(front, seed)
+        .iter()
+        .map(|tp| (tp.nanos, tp.packet.flow()))
+        .collect();
+    let offset = arrivals.last().map_or(0, |&(t, _)| t);
+    arrivals.extend(
+        diurnal
+            .stamp(back, seed.wrapping_add(1))
+            .iter()
+            .map(|tp| (offset.saturating_add(tp.nanos), tp.packet.flow())),
+    );
+    arrivals
 }
 
 /// On Arrival error for HHH algorithms, per prefix level: before each probed
@@ -327,6 +385,66 @@ mod tests {
         let mpps = measure_estimator_batch_mpps(&mut batched, &keys);
         assert!(mpps > 0.0);
         assert_eq!(WindowQuery::processed(&batched), 5_000);
+    }
+
+    #[test]
+    fn stamp_bursty_then_diurnal_is_monotone_and_complete() {
+        let pkts = make_trace(&TracePreset::tiny(), 1_000, 9);
+        let arrivals = stamp_bursty_then_diurnal(
+            &pkts,
+            ArrivalModel::Bursty {
+                burst_len: 100,
+                flood_gap_nanos: 50,
+                idle_nanos: 100_000,
+            },
+            ArrivalModel::Diurnal {
+                fast_gap_nanos: 50,
+                slow_gap_nanos: 5_000,
+                period: 100,
+            },
+            9,
+        );
+        assert_eq!(arrivals.len(), pkts.len());
+        assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+        // The keys are the trace's flows, in order.
+        assert!(arrivals
+            .iter()
+            .zip(&pkts)
+            .all(|(&(_, flow), p)| flow == p.flow()));
+        // Stamping is deterministic.
+        let again = stamp_bursty_then_diurnal(
+            &pkts,
+            ArrivalModel::Bursty {
+                burst_len: 100,
+                flood_gap_nanos: 50,
+                idle_nanos: 100_000,
+            },
+            ArrivalModel::Diurnal {
+                fast_gap_nanos: 50,
+                slow_gap_nanos: 5_000,
+                period: 100,
+            },
+            9,
+        );
+        assert_eq!(arrivals, again);
+    }
+
+    #[test]
+    fn timed_on_arrival_rmse_stays_within_the_quantization_sandwich() {
+        // One key every 10 ticks; 100 grains of span 10 over a 1000-tick
+        // window with one position per grain, so the provisioning exactly
+        // matches the arrival rate (no schedule overrun). The grained
+        // estimate then stays within a couple of grains of the time
+        // oracle, bounding the RMSE by the quantization alone.
+        let arrivals: Vec<(u64, u64)> = (1..=2_000u64).map(|i| (i * 10, 42)).collect();
+        let mut timed = TimedWindow::with_grains(ExactWindow::new(100), 1_000, 100, 100);
+        let rmse = on_arrival_rmse_timed(&mut timed, &arrivals, 7);
+        assert!(rmse.count() > 0);
+        assert!(
+            rmse.value() <= 4.0,
+            "quantization error blew up: {}",
+            rmse.value()
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Incremental snapshot publication (PR 8): the delta types behind
-//! [`WindowQuery::freeze_delta`](crate::WindowQuery::freeze_delta).
+//! [`WindowQuery::freeze_delta`].
 //!
 //! PR 7's query plane froze every shard's *entire* summary each epoch —
 //! O(k) per shard per publication, however little changed. This module
@@ -188,12 +188,13 @@ impl<K: Eq + Hash + Clone> DeltaWindow<K> {
                 .map(|(k, &(est, rank))| (k, est, rank))
                 .collect();
             all.sort_by(|a, b| {
-                b.1
-                    .partial_cmp(&a.1)
+                b.1.partial_cmp(&a.1)
                     .expect("estimates are never NaN")
                     .then(a.2.cmp(&b.2))
             });
-            all.into_iter().map(|(k, est, _)| (k.clone(), est)).collect()
+            all.into_iter()
+                .map(|(k, est, _)| (k.clone(), est))
+                .collect()
         })
     }
 }
@@ -233,13 +234,13 @@ impl<K: Eq + Hash + Clone> WindowQuery<K> for DeltaWindow<K> {
 
 /// Folds one shard's stream of [`WindowPatch`]es into publishable
 /// [`DeltaWindow`] clones, keeping the per-publication cost at
-/// O(dirty · [`ROTATION`]) hash-table writes.
+/// O(dirty · `ROTATION`) hash-table writes.
 ///
 /// The naive single-view design — apply the patch, clone, publish — makes
 /// every `apply` hit the copy-on-write slow path: the clone published last
 /// epoch still shares the table, so `Arc::make_mut` must copy all O(k)
-/// entries. The assembler instead rotates through [`ROTATION`] views. The
-/// view a publication lands on was published [`ROTATION`] epochs ago; the
+/// entries. The assembler instead rotates through `ROTATION` views. The
+/// view a publication lands on was published `ROTATION` epochs ago; the
 /// query plane's double buffer holds only the last two snapshots, so that
 /// clone has (slow readers aside) been dropped and the view owns its table
 /// again: replaying the few patches it missed — kept in a bounded backlog —
@@ -250,7 +251,7 @@ pub struct DeltaAssembler<K> {
     views: Vec<DeltaWindow<K>>,
     /// `applied[i]`: sequence number of the last patch `views[i]` has seen.
     applied: Vec<u64>,
-    /// The last [`ROTATION`] patches, tagged with their sequence number —
+    /// The last `ROTATION` patches, tagged with their sequence number —
     /// exactly what the stalest view in the rotation is missing.
     backlog: VecDeque<(u64, WindowPatch<K>)>,
     seq: u64,
@@ -269,7 +270,7 @@ impl<K: Eq + Hash + Clone> DeltaAssembler<K> {
 
     /// Folds `patch` in and returns the up-to-date view for publication
     /// (an O(1) clone retaining the snapshot's immutability: the assembler
-    /// will not touch this view again for [`ROTATION`] publications).
+    /// will not touch this view again for `ROTATION` publications).
     pub fn publish(&mut self, patch: WindowPatch<K>) -> DeltaWindow<K> {
         self.seq += 1;
         self.backlog.push_back((self.seq, patch));
@@ -343,10 +344,7 @@ mod tests {
             processed: 3,
             error_bound: 0.0,
         });
-        assert_eq!(
-            w.heavy_hitters(0.0),
-            vec![(10, 7.0), (20, 7.0), (30, 7.0)]
-        );
+        assert_eq!(w.heavy_hitters(0.0), vec![(10, 7.0), (20, 7.0), (30, 7.0)]);
     }
 
     #[test]
@@ -388,7 +386,11 @@ mod tests {
                 WindowPatch {
                     rebuild: false,
                     updated: vec![(step % 5, step as f64 + 1.0, step % 5)],
-                    removed: if step % 4 == 3 { vec![(step + 1) % 5] } else { vec![] },
+                    removed: if step % 4 == 3 {
+                        vec![(step + 1) % 5]
+                    } else {
+                        vec![]
+                    },
                     untracked: 0.1 * step as f64,
                     processed: 100 * (step + 1),
                     error_bound: 2.0,
@@ -408,7 +410,10 @@ mod tests {
                 "step {step}"
             );
             assert_eq!(published.processed(), reference.processed());
-            assert_eq!(published.untracked_estimate(), reference.untracked_estimate());
+            assert_eq!(
+                published.untracked_estimate(),
+                reference.untracked_estimate()
+            );
             assert_eq!(published.tracked(), reference.tracked());
             assert_eq!(
                 assembler.latest().expect("published").processed(),

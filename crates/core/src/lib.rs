@@ -49,6 +49,7 @@ pub mod error;
 pub mod h_memento;
 pub mod memento;
 pub mod query;
+pub mod time;
 pub mod traits;
 pub mod wcss;
 
@@ -58,5 +59,6 @@ pub use error::ConfigError;
 pub use h_memento::HMemento;
 pub use memento::Memento;
 pub use query::{FrozenHhh, FrozenWindow, HhhQuery, WindowQuery};
+pub use time::{GrainClock, GrainMap, TimedHhh, TimedWindow};
 pub use traits::{HhhAlgorithm, SlidingWindowEstimator};
 pub use wcss::Wcss;

@@ -996,7 +996,10 @@ impl<K: Eq + Hash + Clone> Memento<K> {
                     continue;
                 }
                 let rank = (1u64 << 32)
-                    | self.y.slot_of(&snap.key).expect("snapshotted key is present") as u64;
+                    | self
+                        .y
+                        .slot_of(&snap.key)
+                        .expect("snapshotted key is present") as u64;
                 let est = self.estimate(&snap.key);
                 updated.push((snap.key, est, rank));
             }

@@ -7,9 +7,14 @@
 
 use std::collections::HashMap;
 
-use memento_core::WindowQuery;
+use memento_core::{GrainMap, TimedWindow, WindowQuery};
 use memento_hierarchy::Prefix1D;
 use memento_sketches::ExactWindow;
+
+/// Grains per rate-limit window (PR 9): expiry granularity is
+/// `window / 64` ticks, the same sub-window grain count Kong and
+/// commcare-hq-style sliding rate limiters use.
+const RATE_LIMIT_GRAINS: u64 = 64;
 
 /// Action applied to a matching source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,35 +23,57 @@ pub enum AclAction {
     Deny,
     /// Keep the connection open and never answer (wastes attacker state).
     Tarpit,
-    /// Allow at most `max_per_window` requests from the subnet per window of
-    /// `window` requests observed by the proxy.
+    /// Allow at most `max_per_window` requests from the subnet per sliding
+    /// window of `window` clock ticks (e.g. nanoseconds — a 5-second limit
+    /// is `window: 5_000_000_000` under a nanosecond clock).
     RateLimit {
         /// Maximum admitted requests per window.
         max_per_window: u64,
-        /// Window length in requests.
+        /// Window length in clock ticks.
         window: u64,
     },
 }
 
 /// A set of subnet ACL rules with longest-prefix-match lookup.
 ///
-/// Rate-limit rules are enforced over a *sliding* window of proxy requests
-/// (PR 7): each rate-limited prefix keeps an [`ExactWindow`] of its admitted
-/// requests over the last `window` evaluations, advanced to the current
-/// evaluation position with the closed-form `skip(n)` and read through the
-/// [`WindowQuery`] surface — the same read-only trait the measurement
-/// engines and snapshot readers answer. A burst therefore cannot double its
-/// budget by straddling a tumbling-window boundary.
+/// Rate-limit rules are enforced over a *sliding time window* (PR 9): each
+/// rate-limited prefix keeps a [`TimedWindow`]-wrapped [`ExactWindow`] of
+/// its admitted requests over the last `window` clock ticks, advanced to
+/// the request's timestamp via the grain clock (whole-grain rotations of
+/// the closed-form `skip(n)`, `RATE_LIMIT_GRAINS` grains per window) and
+/// read through the [`WindowQuery`] surface — the same read-only trait the
+/// measurement engines and snapshot readers answer. The per-grain position
+/// budget equals `max_per_window`, so the rotation schedule can never fall
+/// behind the admissions and an entry expires at most one grain late,
+/// never early: a burst cannot over-admit in *any* `window`-tick span,
+/// including spans straddling grain boundaries.
 #[derive(Debug, Clone, Default)]
 pub struct AclTable {
     /// Rules indexed by prefix (byte-granular lengths only).
     rules: HashMap<Prefix1D, AclAction>,
-    /// Sliding record of admitted requests per rate-limited prefix, each
-    /// covering the `window − 1` evaluations before the current one (the
-    /// current request completes the `window`-request span).
-    rate_windows: HashMap<Prefix1D, ExactWindow<Prefix1D>>,
-    /// Requests evaluated so far (drives the rate-limit windows).
-    evaluated: u64,
+    /// Sliding record of admitted requests per rate-limited prefix, on the
+    /// time plane: positions are admissions, ticks come from the caller's
+    /// clock (or the internal one-tick-per-request clock).
+    rate_windows: HashMap<Prefix1D, TimedWindow<Prefix1D, ExactWindow<Prefix1D>>>,
+    /// Internal clock for the untimed [`evaluate`](Self::evaluate) path:
+    /// advances one tick per evaluation, and never runs behind the newest
+    /// timestamp seen by [`evaluate_at`](Self::evaluate_at).
+    clock: u64,
+}
+
+/// Builds the per-prefix admission window for a rate-limit rule: `g`
+/// effective grains over `window` ticks, with a per-grain position budget
+/// equal to the full admission budget (so the schedule never falls behind
+/// the positions consumed by admissions — see the [`AclTable`] docs).
+fn rate_window(max_per_window: u64, window: u64) -> TimedWindow<Prefix1D, ExactWindow<Prefix1D>> {
+    let ticks = window.max(1);
+    let per_grain = max_per_window.max(1);
+    // Probe the grain geometry first: the effective grain count depends
+    // only on (ticks, grain target), not on the position budget.
+    let grains = GrainMap::new(ticks, 1, RATE_LIMIT_GRAINS).grains();
+    let positions = grains * per_grain;
+    let inner = ExactWindow::new(positions as usize);
+    TimedWindow::with_grains(inner, ticks, positions, grains)
 }
 
 impl AclTable {
@@ -99,12 +126,14 @@ impl AclTable {
         None
     }
 
-    /// Evaluates a request from `src`: returns the action to apply, or `None`
-    /// when the request is admitted. Rate-limit rules admit up to their
-    /// budget over the *sliding* window ending at this request and report
-    /// `Some(RateLimit…)` for the excess.
-    pub fn evaluate(&mut self, src: u32) -> Option<AclAction> {
-        self.evaluated += 1;
+    /// Evaluates a request from `src` arriving at clock tick `now`: returns
+    /// the action to apply, or `None` when the request is admitted.
+    /// Rate-limit rules admit up to their budget over the *sliding time
+    /// window* ending at `now` and report `Some(RateLimit…)` for the
+    /// excess. Non-monotone timestamps are clamped to the newest seen
+    /// (the [`TimedWindow`] clock policy — never a panic).
+    pub fn evaluate_at(&mut self, src: u32, now: u64) -> Option<AclAction> {
+        self.clock = self.clock.max(now);
         let (prefix, action) = self.matching_rule(src)?;
         match action {
             AclAction::Deny | AclAction::Tarpit => Some(action),
@@ -112,34 +141,32 @@ impl AclTable {
                 max_per_window,
                 window,
             } => {
-                // The window covers this request plus the `window − 1`
-                // evaluations before it.
-                let lookback = (window as usize).saturating_sub(1).max(1);
                 let win = self
                     .rate_windows
                     .entry(prefix)
-                    .or_insert_with(|| ExactWindow::new(lookback));
-                // Catch the window up over the evaluations this prefix did
-                // not participate in (closed-form advance, not a walk).
-                let behind = self.evaluated - 1 - win.processed();
-                if behind > 0 {
-                    win.skip(behind);
-                }
-                // Read through the same query surface the measurement
-                // engines answer.
-                let query: &dyn WindowQuery<Prefix1D> = win;
+                    .or_insert_with(|| rate_window(max_per_window, window));
+                // Advance to the arrival time, then read through the same
+                // query surface the measurement engines answer.
+                let query: &dyn WindowQuery<Prefix1D> = win.query_at(now);
                 let admit = query.estimate(&prefix) < max_per_window as f64;
                 if admit {
-                    // Record the admitted request at the current position.
-                    win.add(prefix);
+                    // Record the admission at its arrival time; denied
+                    // requests consume no window position.
+                    win.record_at(prefix, now);
                     None
                 } else {
-                    // The denied request still occupies a stream position.
-                    win.skip(1);
                     Some(action)
                 }
             }
         }
+    }
+
+    /// Evaluates a request without an external clock: each call advances the
+    /// internal clock by one tick, so `window` behaves as a request count —
+    /// the pre-PR 9 semantics, kept for callers without arrival timestamps.
+    pub fn evaluate(&mut self, src: u32) -> Option<AclAction> {
+        let now = self.clock + 1;
+        self.evaluate_at(src, now)
     }
 }
 
@@ -192,9 +219,53 @@ mod tests {
         }
         assert_eq!(admitted, 3);
         assert_eq!(limited, 7);
-        // Sliding window: the 11th evaluation no longer covers the first
-        // admission, so a budget slot has freed up.
+        // Sliding window on the grain clock: expiry lands at most one grain
+        // late (never early), so the 11th evaluation still covers the first
+        // admission; by the 12th the slot has freed up.
+        assert!(acl.evaluate(addr(20, 5, 5, 5)).is_some());
         assert_eq!(acl.evaluate(addr(20, 5, 5, 5)), None);
+    }
+
+    #[test]
+    fn rate_limit_refills_after_idle_time() {
+        // A real 5-second window under a nanosecond clock: a burst exhausts
+        // the budget, and an idle gap longer than the window refills it
+        // (through the wholesale-clear path of the timed window).
+        let mut acl = AclTable::new();
+        acl.insert(
+            Prefix1D::new(addr(22, 0, 0, 0), 8),
+            AclAction::RateLimit {
+                max_per_window: 2,
+                window: 5_000_000_000,
+            },
+        );
+        let src = addr(22, 4, 4, 4);
+        assert_eq!(acl.evaluate_at(src, 1_000), None);
+        assert_eq!(acl.evaluate_at(src, 2_000), None);
+        assert!(acl.evaluate_at(src, 3_000).is_some(), "budget exhausted");
+        // Still inside the 5 s window: denied.
+        assert!(acl.evaluate_at(src, 4_999_000_000).is_some());
+        // 6.2 s after the burst: the whole window has rotated out.
+        assert_eq!(acl.evaluate_at(src, 6_200_000_000), None);
+    }
+
+    #[test]
+    fn non_monotone_timestamps_clamp_without_panicking() {
+        let mut acl = AclTable::new();
+        acl.insert(
+            Prefix1D::new(addr(23, 0, 0, 0), 8),
+            AclAction::RateLimit {
+                max_per_window: 1,
+                window: 1_000,
+            },
+        );
+        let src = addr(23, 1, 1, 1);
+        assert_eq!(acl.evaluate_at(src, 500), None);
+        // A far-backward clock is clamped to the newest observation: the
+        // window has not rotated, so the budget is still spent.
+        assert!(acl.evaluate_at(src, 3).is_some());
+        // Untimed evaluations keep ticking from the newest timestamp.
+        assert!(acl.evaluate(src).is_some());
     }
 
     #[test]

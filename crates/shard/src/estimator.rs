@@ -304,7 +304,10 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
             // Epoch allocation and the quiescence check both happen under
             // the router lock, so no worker delivery can race the restamp.
             let epoch = self.hub.begin_epoch();
-            if self.hub.publish_restamped(epoch, |snap| snap.restamped(epoch)) {
+            if self
+                .hub
+                .publish_restamped(epoch, |snap| snap.restamped(epoch))
+            {
                 return epoch;
             }
             // Nothing published yet (first publication of an empty
@@ -476,6 +479,38 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> SlidingWindowEstimator<K>
         }
     }
 
+    /// Processes a gap-stamped batch at the engine level: before each key,
+    /// the *global* stream position advances over its gap. This is the time
+    /// plane's ingest path (`TimedWindow::record_timed` stamps the grain
+    /// schedule's rotations as gaps) and is much cheaper than the trait
+    /// default here: because the router's `push` stamps each entry's gap
+    /// eagerly at routing time, advancing the router mid-batch folds the
+    /// gap into the *next* entry's stamp on every shard — no shipment per
+    /// gap, no per-gap worker wakeup. Shards that receive no key after a
+    /// gap are advanced by the trailing skip of their next shipment, as
+    /// always. Observable behaviour is exactly the trait contract:
+    /// `skip(gaps[i]); update(keys[i])` in order.
+    fn update_batch_positioned(&mut self, gaps: &[u64], keys: &[K]) {
+        assert_eq!(gaps.len(), keys.len(), "one gap stamp per key");
+        const TILE: usize = 64;
+        let mut state = self.state.lock().expect("router state poisoned");
+        let mut routes = [0usize; TILE];
+        for (tile_keys, tile_gaps) in keys.chunks(TILE).zip(gaps.chunks(TILE)) {
+            for (route, key) in routes.iter_mut().zip(tile_keys) {
+                *route = self.shard_of(key);
+            }
+            for ((key, &shard), &gap) in tile_keys.iter().zip(&routes).zip(tile_gaps) {
+                if gap > 0 {
+                    state.advance(gap);
+                }
+                if state.push(shard, key.clone(), self.flush_threshold) >= self.flush_threshold {
+                    self.ship_shard(&mut state, shard);
+                    self.maybe_publish(&mut state);
+                }
+            }
+        }
+    }
+
     /// Advances the global stream position over `n` packets observed
     /// outside this engine (e.g. by another engine of a larger deployment).
     /// Pending buffers ship first so already-routed keys keep their
@@ -583,6 +618,38 @@ mod tests {
             assert_eq!(batched.estimate(&key), one_by_one.estimate(&key));
         }
         assert_eq!(batched.processed(), one_by_one.processed());
+    }
+
+    #[test]
+    fn positioned_batches_equal_interleaved_skip_and_update() {
+        // The engine-level `update_batch_positioned` override (the time
+        // plane's ingest path) must match the trait contract: the
+        // per-key `skip(gap); update(key)` interleaving.
+        let window = 900;
+        let mut positioned: ShardedEstimator<u64> = ShardedEstimator::exact(3, window);
+        let mut interleaved: ShardedEstimator<u64> = ShardedEstimator::exact(3, window);
+        let n = 6_000u64;
+        let gaps: Vec<u64> = (0..n)
+            .map(|i| [0, 0, 1, 0, 7, 0, 0, 350][(i % 8) as usize])
+            .collect();
+        let keys: Vec<u64> = (0..n).map(|i| (i * 13) % 41).collect();
+        for (gap_part, key_part) in gaps.chunks(997).zip(keys.chunks(997)) {
+            positioned.update_batch_positioned(gap_part, key_part);
+        }
+        for (&gap, &key) in gaps.iter().zip(&keys) {
+            if gap > 0 {
+                interleaved.skip(gap);
+            }
+            interleaved.update(key);
+        }
+        for key in 0..41u64 {
+            assert_eq!(
+                positioned.estimate(&key),
+                interleaved.estimate(&key),
+                "key {key}"
+            );
+        }
+        assert_eq!(positioned.processed(), interleaved.processed());
     }
 
     #[test]

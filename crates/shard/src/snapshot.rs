@@ -261,8 +261,8 @@ impl<P, S> SnapshotHub<P, S> {
     /// serializes `begin_epoch` (the engines' router lock) for the answer
     /// to stay true while they act on it.
     pub(crate) fn quiescent(&self) -> bool {
-        *self.published.lock().expect("published counter poisoned") ==
-            self.epochs.load(Ordering::Relaxed)
+        *self.published.lock().expect("published counter poisoned")
+            == self.epochs.load(Ordering::Relaxed)
     }
 
     /// Publishes `f(latest)` as `epoch` without involving the workers: the

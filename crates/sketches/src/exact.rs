@@ -271,6 +271,163 @@ impl<K: Eq + Hash + Clone> ExactWindow<K> {
     }
 }
 
+/// Exact **time-based** sliding-window counter: counts every occurrence
+/// whose timestamp lies in `(now − window_ticks, now]`.
+///
+/// This is the ground-truth oracle of the time plane (PR 9): where
+/// [`ExactWindow`] defines its window over *stream positions* (and the
+/// grain-mapped `TimedWindow` layer quantizes time onto that position
+/// schedule), this counter evicts by the *recorded timestamps themselves* —
+/// no grains, no quantization. The gate's `bursty-replay` row measures the
+/// approximate time plane's on-arrival error against it, which therefore
+/// includes the grain-quantization error by construction.
+///
+/// Timestamps are `u64` ticks of any unit. The clock policy matches the
+/// time plane's: non-monotone timestamps clamp to the newest one observed
+/// (never panic), duplicates are fine. Memory is O(items in window) — the
+/// linear cost the approximate structures avoid.
+#[derive(Debug, Clone)]
+pub struct ExactTimedWindow<K: Eq + Hash + Clone> {
+    window_ticks: u64,
+    /// Recorded items still inside the window, oldest first, stamped with
+    /// their (post-clamp) arrival tick.
+    ring: VecDeque<(u64, K)>,
+    counts: CompactMap<K, u64>,
+    /// Newest (post-clamp) timestamp observed.
+    now: u64,
+    /// Items ever recorded.
+    recorded: u64,
+    /// Non-monotone timestamps clamped (diagnostics).
+    clamped: u64,
+}
+
+impl<K: Eq + Hash + Clone> ExactTimedWindow<K> {
+    /// Creates a counter over the trailing `window_ticks` clock ticks.
+    ///
+    /// # Panics
+    /// Panics if `window_ticks == 0`.
+    pub fn new(window_ticks: u64) -> Self {
+        assert!(window_ticks > 0, "window must be positive");
+        ExactTimedWindow {
+            window_ticks,
+            ring: VecDeque::new(),
+            counts: CompactMap::new(),
+            now: 0,
+            recorded: 0,
+            clamped: 0,
+        }
+    }
+
+    /// The window length in clock ticks.
+    pub fn window_ticks(&self) -> u64 {
+        self.window_ticks
+    }
+
+    /// The newest (post-clamp) timestamp observed.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Items ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Non-monotone timestamps clamped to the newest observation so far.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Number of recorded items currently inside the window.
+    pub fn occupancy(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Number of distinct keys in the window.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Clamps `t` to the newest observation and advances the clock.
+    fn clamp(&mut self, t: u64) -> u64 {
+        if t < self.now {
+            self.clamped += 1;
+            return self.now;
+        }
+        self.now = t;
+        t
+    }
+
+    /// Records one occurrence of `key` at tick `t` (clamped monotone),
+    /// evicting everything older than `t − window_ticks`.
+    pub fn add_at(&mut self, key: K, t: u64) {
+        let t = self.clamp(t);
+        self.recorded += 1;
+        self.ring.push_back((t, key.clone()));
+        *self.counts.get_or_insert_with(key, || 0) += 1;
+        self.evict();
+    }
+
+    /// Advances the clock to `t` without recording anything, evicting
+    /// expired items. Same range-eviction shape as [`ExactWindow::skip`]:
+    /// a binary-searched prefix drain, or a wholesale clear when the
+    /// advance outruns every recorded timestamp.
+    pub fn advance_to(&mut self, t: u64) {
+        let _ = self.clamp(t);
+        let Some(horizon) = self.now.checked_sub(self.window_ticks) else {
+            return; // the window still reaches back past tick 0
+        };
+        match self.ring.back() {
+            None => {}
+            Some((newest, _)) if *newest <= horizon => {
+                self.ring.clear();
+                self.counts.clear();
+            }
+            _ => self.evict(),
+        }
+    }
+
+    /// Drops items stamped at or before `now − window_ticks` (ticks are
+    /// non-decreasing along the ring, so a front walk terminates at the
+    /// first survivor).
+    fn evict(&mut self) {
+        let Some(horizon) = self.now.checked_sub(self.window_ticks) else {
+            return;
+        };
+        while let Some((tick, _)) = self.ring.front() {
+            if *tick > horizon {
+                break;
+            }
+            let (_, old) = self.ring.pop_front().expect("front checked above");
+            if let Some(c) = self.counts.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Exact count of `key` among the items of the last `window_ticks`
+    /// ticks (as of the newest observation — call
+    /// [`advance_to`](Self::advance_to) first to evict up to a later time).
+    pub fn query(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// All keys whose window count is at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +585,61 @@ mod tests {
                 for key in 0u64..15 {
                     assert_eq!(fast.query(&key), reference.query(&key), "key {key}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_window_evicts_by_timestamp() {
+        let mut w = ExactTimedWindow::new(10);
+        w.add_at(1, 0);
+        w.add_at(1, 3);
+        w.add_at(2, 9);
+        assert_eq!(w.query(&1), 2);
+        // t = 11: the window (1, 11] drops the item at t = 0 only.
+        w.advance_to(11);
+        assert_eq!(w.query(&1), 1);
+        assert_eq!(w.query(&2), 1);
+        // An idle gap past the whole window clears everything wholesale.
+        w.advance_to(1_000);
+        assert_eq!(w.occupancy(), 0);
+        assert_eq!(w.distinct(), 0);
+        assert_eq!(w.recorded(), 3);
+    }
+
+    #[test]
+    fn timed_window_clamps_backward_clocks() {
+        let mut w = ExactTimedWindow::new(5);
+        w.add_at("a", 100);
+        w.add_at("b", 7); // clamped to t = 100
+        assert_eq!(w.clamped(), 1);
+        assert_eq!(w.now(), 100);
+        assert_eq!(w.query(&"b"), 1);
+        w.advance_to(3); // also clamps; evicts nothing
+        assert_eq!(w.clamped(), 2);
+        assert_eq!(w.query(&"a"), 1);
+    }
+
+    #[test]
+    fn timed_window_matches_naive_time_filter() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        let window = 40u64;
+        let mut w: ExactTimedWindow<u32> = ExactTimedWindow::new(window);
+        let mut log: Vec<(u64, u32)> = Vec::new();
+        let mut t = 0u64;
+        for i in 0..3_000u64 {
+            t += rng.gen_range(0u64..4);
+            let key = rng.gen_range(0u32..15);
+            w.add_at(key, t);
+            log.push((t, key));
+            if i % 83 == 0 {
+                let probe = rng.gen_range(0u32..15);
+                let naive = log
+                    .iter()
+                    .filter(|&&(tick, k)| k == probe && tick + window > t)
+                    .count() as u64;
+                assert_eq!(w.query(&probe), naive, "probe {probe} at t {t}");
             }
         }
     }

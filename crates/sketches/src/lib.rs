@@ -40,7 +40,7 @@ pub mod space_saving;
 pub mod stream_summary;
 
 pub use compact_map::{CompactMap, MapJournalDrain, ProbeStats};
-pub use exact::{ExactInterval, ExactWindow};
+pub use exact::{ExactInterval, ExactTimedWindow, ExactWindow};
 pub use fasthash::{FastBuildHasher, FastHasher};
 pub use overflow_queue::OverflowQueue;
 pub use sampling::{GeometricSampler, PrefixSampler, Sampler, TableSampler};

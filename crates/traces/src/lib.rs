@@ -20,7 +20,10 @@
 //!   subnets injected at 70% of the traffic from a random start point).
 //! * [`emerging`] — the "new heavy hitter appears mid-measurement" scenario
 //!   behind Figure 1b.
-//! * [`io`] — CSV trace reader/writer.
+//! * [`io`] — CSV trace reader/writer (count-based and timestamped).
+//! * [`timed`] — deterministic arrival-clock stamping ([`ArrivalModel`])
+//!   so traces can be replayed at recorded timestamps through the time
+//!   plane (`TimedWindow` in `memento-core`).
 //!
 //! [paper]: https://arxiv.org/abs/1810.02899
 
@@ -32,8 +35,10 @@ pub mod flood;
 pub mod io;
 pub mod packet;
 pub mod synthetic;
+pub mod timed;
 
 pub use emerging::EmergingFlowScenario;
 pub use flood::{FloodPacket, FloodScenario};
 pub use packet::Packet;
 pub use synthetic::{TraceGenerator, TracePreset};
+pub use timed::{ArrivalModel, TimedPacket};

@@ -10,9 +10,9 @@
 //! backward-shift deletions, for Memento (τ < 1), WCSS (τ = 1), the exact
 //! window and Space Saving.
 
+use memento::sketches::SpaceSaving;
 use memento::traits::SlidingWindowEstimator;
 use memento::{DeltaWindow, FrozenWindow, WindowQuery};
-use memento::sketches::SpaceSaving;
 use proptest::prelude::*;
 
 /// Key universe shared by all generators: small enough that per-checkpoint

@@ -1,0 +1,128 @@
+//! The time-plane ingest path, per-packet vs chunked (PR 10).
+//!
+//! `TimedWindow::record_timed` hoists the `GrainClock` consult out of the
+//! per-packet loop: only the head of each same-grain run pays the full
+//! `observe` (boundary crossings, schedule re-anchoring), while the run's
+//! tail costs one grain-end comparison plus clamp bookkeeping. This bench
+//! prices that hoist against the per-packet `record_at` baseline on the
+//! two arrival shapes the perf gate replays:
+//!
+//! * **dense** — uniform at-rate arrivals (the gate's `dense-replay` row):
+//!   ~64 packets per grain at the gate geometry, so the hoisted fast path
+//!   dominates and the row isolates its best case;
+//! * **bursty** — the gate's `bursty-replay` clock (idle-gap floods, then
+//!   a diurnal rotation): runs are shorter and wholesale clears interleave,
+//!   so the row keeps the run-detection overhead honest.
+//!
+//! Both estimator regimes ride along: WCSS (τ = 1, every packet a Full
+//! update) and Memento at τ = 1/4 (the geometric-skip batch sampler).
+//! Recorded numbers live in `crates/bench/EXPERIMENTS.md`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use memento_bench::{make_trace, stamp_bursty_then_diurnal};
+use memento_core::{GrainMap, Memento, TimedWindow, Wcss};
+use memento_traces::{ArrivalModel, Packet, TracePreset};
+
+/// Trace length (matches `hot_path`'s microbench scale).
+const OPS: usize = 100_000;
+
+/// Packet-burst size for the chunked rows (the perf gate's unit).
+const CHUNK: usize = 4_096;
+
+/// Counter budget for both estimators (the gate's unit).
+const COUNTERS: usize = 4_096;
+
+/// Window size in positions (the gate's unit).
+const WINDOW: usize = 50_000;
+
+/// Grains per window (the gate's replay geometry).
+const GRAINS: u64 = 64;
+
+/// Mean inter-arrival gap for the dense clock, in nanoseconds (the gate's
+/// flood gap: the time window spans exactly one position window at rate).
+const GAP_NANOS: u64 = 100;
+
+fn grain_map() -> GrainMap {
+    GrainMap::new(GAP_NANOS * WINDOW as u64, WINDOW as u64, GRAINS)
+}
+
+/// Stamps the trace with the dense at-rate clock.
+fn dense_arrivals(packets: &[Packet]) -> Vec<(u64, u64)> {
+    ArrivalModel::Uniform {
+        gap_nanos: GAP_NANOS,
+    }
+    .stamp(packets, 2018)
+    .iter()
+    .map(|tp| (tp.nanos, tp.packet.flow()))
+    .collect()
+}
+
+/// Stamps the trace with the gate's bursty-then-diurnal clock.
+fn bursty_arrivals(packets: &[Packet]) -> Vec<(u64, u64)> {
+    stamp_bursty_then_diurnal(
+        packets,
+        ArrivalModel::Bursty {
+            burst_len: 8_192,
+            flood_gap_nanos: GAP_NANOS,
+            idle_nanos: 2 * GAP_NANOS * WINDOW as u64,
+        },
+        ArrivalModel::Diurnal {
+            fast_gap_nanos: GAP_NANOS,
+            slow_gap_nanos: 8 * GAP_NANOS,
+            period: 16_384,
+        },
+        2018,
+    )
+}
+
+fn bench_timed_ingest(c: &mut Criterion) {
+    let packets = make_trace(&TracePreset::datacenter(), OPS, 2018);
+    let dense = dense_arrivals(&packets);
+    let bursty = bursty_arrivals(&packets);
+    let map = grain_map();
+
+    let mut group = c.benchmark_group("timed_ingest");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for (clock, arrivals) in [("dense", &dense), ("bursty", &bursty)] {
+        group.bench_function(format!("wcss_record_at_{clock}"), |b| {
+            b.iter(|| {
+                let mut timed = TimedWindow::new(Wcss::<u64>::new(COUNTERS, WINDOW), map);
+                for &(t, key) in arrivals.iter() {
+                    timed.record_at(key, t);
+                }
+                timed.position()
+            })
+        });
+        group.bench_function(format!("wcss_record_timed_{clock}"), |b| {
+            b.iter(|| {
+                let mut timed = TimedWindow::new(Wcss::<u64>::new(COUNTERS, WINDOW), map);
+                for part in arrivals.chunks(CHUNK) {
+                    timed.record_timed(part);
+                }
+                timed.position()
+            })
+        });
+        group.bench_function(format!("memento_record_timed_tau_0.25_{clock}"), |b| {
+            b.iter(|| {
+                let mut timed =
+                    TimedWindow::new(Memento::<u64>::new(COUNTERS, WINDOW, 0.25, 2018), map);
+                for part in arrivals.chunks(CHUNK) {
+                    timed.record_timed(part);
+                }
+                timed.position()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timed_ingest);
+criterion_main!(benches);

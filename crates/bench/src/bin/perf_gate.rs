@@ -17,11 +17,13 @@
 //!   sharded configuration's on-arrival RMSE exceeding 2× its single-shard
 //!   reference means the global-position windows regressed to the old
 //!   `W/N` under-coverage failure mode, or
-//! * the `bursty-replay` row — the trace replayed *at recorded timestamps*
-//!   (idle-gap floods, then a diurnal rotation) through the grain-mapped
-//!   `TimedWindow<Memento>` — drifts beyond its bound against the exact
-//!   time-window oracle (grain-quantization reference + sketch error
-//!   headroom).
+//! * a replay row — the trace replayed *at recorded timestamps* through the
+//!   grain-mapped `TimedWindow<Memento>`, on two arrival clocks: the
+//!   `bursty-replay` worst case (idle-gap floods, then a diurnal rotation)
+//!   and the `dense-replay` steady state (uniform at-rate arrivals, zero
+//!   wholesale clears — the regime PR 10's chunked `record_timed` hoist
+//!   targets) — drifts beyond its bound against the exact time-window
+//!   oracle (grain-quantization reference + sketch error headroom).
 //!
 //! The machine-speed calibration figure that normalizes baseline
 //! comparisons is the median of three runs of the fixed integer workload.
@@ -201,6 +203,12 @@ fn main() {
     let (replay_row, replay_quant_rmse) = measure_bursty_replay_row(&config, &packets);
     rows.push(replay_row);
 
+    // The PR 10 time-plane row: the same trace at uniform at-rate arrivals
+    // — long same-grain runs, zero wholesale clears — through the identical
+    // geometry, isolating the chunked `record_timed` steady state.
+    let (dense_row, dense_quant_rmse) = measure_dense_replay_row(&config, &packets);
+    rows.push(dense_row);
+
     let calibration = calibration_mops();
     eprintln!("perf_gate: calibration workload: {calibration:.0} mops single-core");
 
@@ -235,7 +243,8 @@ fn main() {
     let mut failures = Vec::new();
     check_speedup(&report, &mut failures);
     check_reader_overhead(&report, &mut failures);
-    check_bursty_rmse(&report, replay_quant_rmse, &mut failures);
+    check_replay_rmse(&report, "bursty-replay", replay_quant_rmse, &mut failures);
+    check_replay_rmse(&report, "dense-replay", dense_quant_rmse, &mut failures);
 
     // Schema-v2 accuracy rule: sharded on-arrival RMSE must track the
     // single-shard reference on the skewed workload.
@@ -572,32 +581,112 @@ fn measure_bursty_replay_row(config: &GateConfig, packets: &[Packet]) -> (GateRo
     )
 }
 
-/// The PR 9 acceptance check: the `bursty-replay` on-arrival RMSE must be
-/// bounded against the exact time-window baseline. The timed Memento's
-/// error decomposes into grain-quantization error (measured directly by
-/// the exact-inner reference on the same clock) plus sketch error (tracked
-/// by the count-based `memento@1` row); 3× headroom on the sketch term
-/// plus a 5-packet absolute slack absorbs measurement noise.
-fn check_bursty_rmse(report: &GateReport, quant_rmse: f64, failures: &mut Vec<String>) {
-    let (Some(replay), Some(sketch_ref)) =
-        (report.row("bursty-replay", 1), report.row("memento", 1))
-    else {
-        failures.push("bursty RMSE check: bursty-replay@1 or memento@1 row missing".to_string());
+/// Measures the `dense-replay` row (PR 10): the trace replayed at uniform
+/// at-rate arrivals — one packet every [`REPLAY_FLOOD_GAP_NANOS`] ns mean,
+/// so a grain holds its provisioned positions-per-grain packets and no gap
+/// ever outruns the ring (zero wholesale clears). This is the steady state
+/// the chunked [`TimedWindow::record_timed`] hoist targets: nearly every
+/// packet is the tail of a same-grain run and pays one grain-end
+/// comparison instead of a full `GrainClock::observe`. Geometry, chunking
+/// and the accuracy harness are identical to the `bursty-replay` row, so
+/// the pair brackets the time plane's arrival regimes. Returns the row and
+/// the grain-quantization reference RMSE, as for the bursty row.
+fn measure_dense_replay_row(config: &GateConfig, packets: &[Packet]) -> (GateRow, f64) {
+    let window_positions = config.window as u64;
+    let window_ticks = REPLAY_FLOOD_GAP_NANOS * window_positions;
+    let arrivals: Vec<(u64, u64)> = ArrivalModel::Uniform {
+        gap_nanos: REPLAY_FLOOD_GAP_NANOS,
+    }
+    .stamp(packets, config.seed)
+    .iter()
+    .map(|tp| (tp.nanos, tp.packet.flow()))
+    .collect();
+
+    let make_timed = || {
+        TimedWindow::with_grains(
+            Memento::new(config.counters, config.window, config.tau, config.seed),
+            window_ticks,
+            window_positions,
+            REPLAY_GRAINS,
+        )
+    };
+    let mut best = 0.0f64;
+    let mut clears = 0u64;
+    for _ in 0..PASSES {
+        let mut timed = make_timed();
+        let mpps = measure_mpps(arrivals.len(), || {
+            for part in arrivals.chunks(CHUNK) {
+                timed.record_timed(part);
+            }
+        });
+        best = best.max(mpps);
+        clears = timed.whole_window_advances();
+    }
+    assert_eq!(
+        clears, 0,
+        "dense-replay must never outrun the ring (uniform at-rate arrivals)"
+    );
+
+    let accuracy_arrivals = &arrivals[..config.accuracy_packets.min(arrivals.len())];
+    let mut timed = make_timed();
+    let rmse = on_arrival_rmse_timed(&mut timed, accuracy_arrivals, config.probe_every);
+    let mut quant_ref = TimedWindow::with_grains(
+        ExactWindow::new(config.window),
+        window_ticks,
+        window_positions,
+        REPLAY_GRAINS,
+    );
+    let quant_rmse =
+        on_arrival_rmse_timed(&mut quant_ref, accuracy_arrivals, config.probe_every).value();
+    eprintln!(
+        "perf_gate: dense-replay@1: {best:.2} mpps, on-arrival RMSE {:.2} over {} probes \
+         (quantization reference {quant_rmse:.2}, {clears} wholesale clears)",
+        rmse.value(),
+        rmse.count()
+    );
+    (
+        GateRow {
+            algorithm: "dense-replay".to_string(),
+            shards: 1,
+            tau: config.tau,
+            counters: config.counters,
+            workload: "dense-replay".to_string(),
+            mpps: best,
+            on_arrival_rmse: Some(rmse.value()),
+        },
+        quant_rmse,
+    )
+}
+
+/// The PR 9 acceptance check, generalized over the replay rows in PR 10:
+/// a replay row's on-arrival RMSE must be bounded against the exact
+/// time-window baseline. The timed Memento's error decomposes into
+/// grain-quantization error (measured directly by the exact-inner
+/// reference on the same clock) plus sketch error (tracked by the
+/// count-based `memento@1` row); 3× headroom on the sketch term plus a
+/// 5-packet absolute slack absorbs measurement noise.
+fn check_replay_rmse(report: &GateReport, row: &str, quant_rmse: f64, failures: &mut Vec<String>) {
+    let (Some(replay), Some(sketch_ref)) = (report.row(row, 1), report.row("memento", 1)) else {
+        failures.push(format!(
+            "replay RMSE check: {row}@1 or memento@1 row missing"
+        ));
         return;
     };
     let (Some(rmse), Some(sketch_rmse)) = (replay.on_arrival_rmse, sketch_ref.on_arrival_rmse)
     else {
-        failures.push("bursty RMSE check: a required on_arrival_rmse is missing".to_string());
+        failures.push(format!(
+            "replay RMSE check ({row}): a required on_arrival_rmse is missing"
+        ));
         return;
     };
     let ceiling = quant_rmse + 3.0 * sketch_rmse + 5.0;
     eprintln!(
-        "perf_gate: bursty-replay on-arrival RMSE {rmse:.1} vs ceiling {ceiling:.1} \
+        "perf_gate: {row} on-arrival RMSE {rmse:.1} vs ceiling {ceiling:.1} \
          (quantization {quant_rmse:.1} + 3x sketch {sketch_rmse:.1} + 5)"
     );
     if rmse > ceiling {
         failures.push(format!(
-            "bursty-replay@1 on-arrival RMSE {rmse:.1} exceeds the time-window bound \
+            "{row}@1 on-arrival RMSE {rmse:.1} exceeds the time-window bound \
              {ceiling:.1} (quantization reference {quant_rmse:.1}, count-based sketch \
              reference {sketch_rmse:.1})"
         ));

@@ -1,0 +1,105 @@
+//! Low-noise interleaved A/B of the three `CompactMap` probe backends.
+//!
+//! The criterion `hot_path` rows swing ±30% between invocations on a
+//! shared 1-core box — more than the byte-vs-group gap they are meant to
+//! resolve. This harness interleaves the three scans round-robin (so
+//! machine-state drift hits all of them equally), times whole passes
+//! with a monotonic clock, and reports the per-scan minimum and median —
+//! the statistics `EXPERIMENTS.md` records for the PR 10 parity bar.
+//! Like the `hot_path` scan rows, each probe accumulates the returned
+//! slot index (no entry touch — see the note on the scan rows there),
+//! and a stream-weighted probe-length histogram attributes the timing.
+//!
+//! Usage: `cargo run --release --bin probe_ab [passes]` (default 60).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use memento_bench::make_trace;
+use memento_sketches::CompactMap;
+use memento_traces::TracePreset;
+
+/// Monitored population (matches `hot_path`'s `MONITORED`).
+const MONITORED: usize = 4_096;
+
+/// Probe stream length (matches `hot_path`'s `OPS`).
+const OPS: usize = 100_000;
+
+fn main() {
+    let passes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let keys: Vec<u64> = make_trace(&TracePreset::datacenter(), OPS, 2018)
+        .iter()
+        .map(|p| p.flow())
+        .collect();
+    let mut seen = HashSet::new();
+    let mut population = Vec::with_capacity(MONITORED);
+    for &key in &keys {
+        if seen.insert(key) {
+            population.push(key);
+            if population.len() == MONITORED {
+                break;
+            }
+        }
+    }
+
+    let mut map: CompactMap<u64, u32> = CompactMap::with_capacity(MONITORED);
+    for &key in &population {
+        map.insert(key, 0);
+    }
+
+    let mut times: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut acc = 0u64;
+    for _ in 0..passes {
+        for (scan, bucket) in times.iter_mut().enumerate() {
+            let start = Instant::now();
+            for &key in &keys {
+                let probed = match scan {
+                    0 => map.probe_reference(&key),
+                    1 => map.probe_swar(&key),
+                    _ => map.probe(&key),
+                };
+                match probed {
+                    Ok(slot) => acc += slot as u64,
+                    Err(_) => acc += 1,
+                }
+            }
+            bucket.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    // Stream-weighted probe-length histogram: how many slots each of the
+    // 100k probes actually walks (hits end at the key, misses at the
+    // first empty), so the timing gap above can be attributed. The home
+    // slot is the hash's low bits, as in `CompactMap::decompose`; the
+    // slot count is recovered from the 7/8 load cap.
+    let slots = map.capacity() * 8 / 7;
+    assert!(slots.is_power_of_two(), "unexpected table geometry");
+    let mut hist = [0u64; 10];
+    for &key in &keys {
+        let slot = match map.probe(&key) {
+            Ok(slot) => slot,
+            Err((slot, _)) => slot,
+        };
+        let home = memento_sketches::fasthash::hash_one(&key) as usize & (slots - 1);
+        let len = (slot + slots - home) % slots + 1;
+        hist[len.min(9)] += 1;
+    }
+    eprintln!("probe length histogram (1..=8 slots, 9 = longer): {hist:?}");
+
+    for (name, bucket) in ["byte", "swar", "group"].iter().zip(times.iter_mut()) {
+        bucket.sort_unstable();
+        let min = bucket[0];
+        let med = bucket[bucket.len() / 2];
+        println!(
+            "{name:>5}: min {:.1} us  median {:.1} us  ({} passes)",
+            min as f64 / 1_000.0,
+            med as f64 / 1_000.0,
+            bucket.len()
+        );
+    }
+    eprintln!("(checksum {acc})");
+}

@@ -211,6 +211,36 @@ impl GrainClock {
         self.scheduled.saturating_sub(position)
     }
 
+    /// First tick of the grain after the current one — the exclusive upper
+    /// bound of "inside the current grain". Saturates at `u64::MAX` when
+    /// the next boundary lies beyond the clock's range, which
+    /// conservatively routes a `t == u64::MAX` packet through the full
+    /// [`observe`](Self::observe) path instead of the in-grain fast path.
+    #[inline]
+    fn grain_end_tick(&self) -> u64 {
+        self.grain
+            .saturating_add(1)
+            .saturating_mul(self.map.grain_span)
+    }
+
+    /// In-grain fast-path bookkeeping for the chunked ingest loop
+    /// ([`TimedWindow::record_timed`]). Once a run's head packet has been
+    /// recorded, the stream position is strictly ahead of the schedule and
+    /// an in-grain timestamp never moves the schedule, so a full
+    /// [`observe`](Self::observe) of any `t < grain_end_tick()` would
+    /// return 0 rotations and touch nothing but the clamp-to-last
+    /// bookkeeping — which is all that remains here. (A clamped `t` stays
+    /// in-grain by construction: the clamp target `last_tick` is inside
+    /// the current grain.)
+    #[inline]
+    fn note_in_grain(&mut self, t: u64) {
+        if t < self.last_tick {
+            self.clamped += 1;
+        } else {
+            self.last_tick = t;
+        }
+    }
+
     /// True once the first observation anchored the schedule.
     pub fn anchored(&self) -> bool {
         self.anchored
@@ -323,24 +353,66 @@ impl<K: Clone, A: SlidingWindowEstimator<K>> TimedWindow<K, A> {
     }
 
     /// Replays a batch of individually timestamped packets (a recorded
-    /// trace slice) through the inner gap-stamped
-    /// [`update_batch_positioned`](SlidingWindowEstimator::update_batch_positioned)
-    /// path: the schedule's rotations become the gap stamps, so a sharded
-    /// engine routes the whole slice under one router lock instead of
-    /// shipping per rotation. Equivalent to `record_at` per packet.
+    /// trace slice) as same-grain *runs*: each run is one closed-form
+    /// [`skip`](SlidingWindowEstimator::skip) over the head's rotations
+    /// followed by one plain
+    /// [`update_batch`](SlidingWindowEstimator::update_batch) over the
+    /// run's keys — no per-packet gap stamps at all. Equivalent to
+    /// `record_at` per packet — bit for bit at τ = 1; at τ < 1 the
+    /// rotation schedule is still identical but the batch path draws its
+    /// geometric skips from the RNG in a different order than per-packet
+    /// coins (statistically equivalent, exactly as for the untimed batch
+    /// paths).
+    ///
+    /// The clock consult is hoisted out of the per-packet loop (PR 10):
+    /// only the *head* of each in-grain run pays the full
+    /// [`GrainClock::observe`] (boundary crossings, schedule re-anchoring,
+    /// the wholesale-clear diagnostic). After a record the position is
+    /// strictly ahead of the schedule, so every following timestamp inside
+    /// the current grain rotates nothing — the tail of the run costs one
+    /// grain-boundary comparison per packet plus the clamp-to-last
+    /// bookkeeping, which is all a full `observe` would have done. The
+    /// same hoist retires the PR 9 gap-stamp buffers: a whole run shares
+    /// one rotation count, so `skip` + `update_batch` replaces the
+    /// `update_batch_positioned` gap array (bit-for-bit — `skip` composes
+    /// and consumes no randomness, and the batch sampler's persistent
+    /// carry makes batch splits RNG-invariant; the differential proptests
+    /// in `tests/time_windows.rs` pin both claims across grain boundaries
+    /// and non-monotone clocks). Arrival clocks that cross a grain on
+    /// every packet degrade to per-packet `skip`/`update_batch` calls —
+    /// the cost `record_at` pays anyway.
     pub fn record_timed(&mut self, packets: &[(u64, K)]) {
-        let mut gaps = Vec::with_capacity(packets.len());
         let mut keys = Vec::with_capacity(packets.len());
-        for (t, key) in packets {
+        let mut i = 0;
+        while i < packets.len() {
+            // Head of a run: the full clock consult.
+            let (t, key) = &packets[i];
             let rotations = self.clock.observe(*t, self.position);
             if rotations >= self.clock.map().window_positions() {
                 self.whole_window_advances += 1;
             }
-            gaps.push(rotations);
+            if rotations > 0 {
+                self.inner.skip(rotations);
+                self.position += rotations;
+            }
+            keys.clear();
             keys.push(key.clone());
-            self.position += rotations + 1;
+            self.position += 1;
+            i += 1;
+            // Tail of the run: zero rotations until the grain ends.
+            let end = self.clock.grain_end_tick();
+            while i < packets.len() {
+                let (t, key) = &packets[i];
+                if *t >= end {
+                    break;
+                }
+                self.clock.note_in_grain(*t);
+                keys.push(key.clone());
+                self.position += 1;
+                i += 1;
+            }
+            self.inner.update_batch(&keys);
         }
-        self.inner.update_batch_positioned(&gaps, &keys);
     }
 
     /// Advances the window to `t`, then hands out the inner estimator for

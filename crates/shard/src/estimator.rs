@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use memento_core::traits::{SlidingWindowEstimator, WindowQuery};
-use memento_core::{DeltaAssembler, Memento, Wcss, WindowPatch};
+use memento_core::{DeltaAssembler, GrainClock, GrainMap, Memento, Wcss, WindowPatch};
 use memento_sketches::{fasthash, ExactWindow};
 
 use crate::router::Router;
@@ -84,6 +84,9 @@ pub struct ShardedEstimator<K: Eq + Hash + Clone + Send + Sync + 'static> {
     /// Worst per-shard error bound, cached at construction (constant per
     /// configuration).
     error_bound: f64,
+    /// Per-shard grain clocks for the engine-level time plane
+    /// ([`Self::advance_to`]); `None` until [`Self::with_grain_clock`].
+    clocks: Option<Vec<GrainClock>>,
 }
 
 impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
@@ -158,6 +161,7 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
             freezes: AtomicUsize::new(0),
             hub,
             error_bound,
+            clocks: None,
         }
     }
 
@@ -210,6 +214,73 @@ impl<K: Eq + Hash + Clone + Send + Sync + 'static> ShardedEstimator<K> {
     /// The engine's current snapshot [`PublishPolicy`].
     pub fn policy(&self) -> PublishPolicy {
         self.policy
+    }
+
+    /// Equips the engine with a grain-mapped time plane (builder style,
+    /// like [`Self::with_policy`]): one [`GrainClock`] per shard over
+    /// `map`, enabling [`Self::advance_to`]. Every per-shard estimator
+    /// must be configured with a count window of exactly
+    /// `map.window_positions()` — the same contract as
+    /// [`TimedWindow`](memento_core::TimedWindow), which this replaces for
+    /// sharded deployments: the clocks live *inside* the engine, so
+    /// time-driven rotations ship per shard and the workers execute their
+    /// closed-form skips in parallel.
+    pub fn with_grain_clock(mut self, map: GrainMap) -> Self {
+        self.clocks = Some(
+            (0..self.workers.len())
+                .map(|_| GrainClock::new(map))
+                .collect(),
+        );
+        self
+    }
+
+    /// The per-shard grain clocks, when the engine was built
+    /// [`with_grain_clock`](Self::with_grain_clock): geometry, newest
+    /// timestamp, and clamp diagnostics — one replica per shard.
+    pub fn grain_clocks(&self) -> Option<&[GrainClock]> {
+        self.clocks.as_deref()
+    }
+
+    /// Advances every shard's window to timestamp `t` without recording
+    /// anything — the engine-level twin of
+    /// [`TimedWindow::advance_to`](memento_core::TimedWindow::advance_to).
+    ///
+    /// Each shard owns a [`GrainClock`] replica over the shared geometry;
+    /// all ingest flows through the single router, so the replicas observe
+    /// the same global position and agree on the rotation count (keeping a
+    /// clock per shard leaves room for worker-local advancement if routing
+    /// ever decentralizes). When rotations are due, the global position
+    /// advances first and every shard then ships — the rotations land in
+    /// each shipment's trailing skip (gap stamps are taken eagerly at push
+    /// time, so buffered keys keep their pre-advance positions) and each
+    /// worker executes its closed-form `skip` *now*, in parallel, instead
+    /// of at its next ingest. Zero rotations — within a grain, or while
+    /// records run ahead of schedule — touch nothing: no shipment, no
+    /// worker wakeup. Non-monotone `t` clamps per the clock policy.
+    ///
+    /// # Panics
+    /// Panics unless the engine was built with
+    /// [`Self::with_grain_clock`].
+    pub fn advance_to(&mut self, t: u64) {
+        let mut state = self.state.lock().expect("router state poisoned");
+        let position = state.position();
+        let rotations = {
+            let clocks = self
+                .clocks
+                .as_mut()
+                .expect("advance_to requires an engine built with with_grain_clock(map)");
+            let mut rotations = 0;
+            for clock in clocks.iter_mut() {
+                rotations = clock.observe(t, position);
+            }
+            rotations
+        };
+        if rotations > 0 {
+            state.advance(rotations);
+            for shard in 0..self.workers.len() {
+                self.ship_shard(&mut state, shard);
+            }
+        }
     }
 
     /// A wait-free handle answering [`WindowQuery`] from the latest
@@ -740,6 +811,78 @@ mod tests {
         sharded.publish_now();
         assert!(sharded.freeze_rounds() > rounds, "skip must re-freeze");
         assert_eq!(sharded.processed(), 9_001);
+    }
+
+    #[test]
+    fn engine_advance_to_expires_by_time() {
+        // A full window of idle ticks must expire everything on every
+        // shard, with the rotations shipped by `advance_to` itself (no
+        // ingest afterwards to piggyback on).
+        let window = 400u64;
+        let map = GrainMap::new(100 * window, window, 8);
+        let mut sharded: ShardedEstimator<u64> =
+            ShardedEstimator::exact(2, window as usize).with_grain_clock(map);
+        sharded.advance_to(5);
+        for i in 0..window {
+            sharded.update(i % 13);
+        }
+        assert!(sharded.estimate(&1) > 0.0);
+        sharded.advance_to(5 + 2 * map.window_ticks());
+        for key in 0..13u64 {
+            assert_eq!(sharded.estimate(&key), 0.0, "key {key} survived the gap");
+        }
+        // Every per-shard clock replica observed the same schedule.
+        let clocks = sharded.grain_clocks().expect("clock configured");
+        assert_eq!(clocks.len(), 2);
+        assert!(clocks
+            .iter()
+            .all(|c| c.last_tick() == 5 + 2 * map.window_ticks()));
+    }
+
+    #[test]
+    fn engine_advance_to_matches_wrapped_timed_window() {
+        // The engine-level time plane must agree with wrapping the whole
+        // engine in a `TimedWindow` — same grain geometry, same advance
+        // points, same clamp policy — at 1, 2 and 4 shards.
+        use memento_core::TimedWindow;
+        let window = 600usize;
+        let map = GrainMap::new(3_000, window as u64, 12);
+        for shards in [1usize, 2, 4] {
+            let mut engine: ShardedEstimator<u64> =
+                ShardedEstimator::exact(shards, window).with_grain_clock(map);
+            let mut wrapped = TimedWindow::new(ShardedEstimator::<u64>::exact(shards, window), map);
+            let mut t = 0u64;
+            for step in 0..60u64 {
+                t += (step * 37) % 450; // in-grain repeats and multi-grain jumps
+                let sample_t = if step % 9 == 8 {
+                    t.saturating_sub(700)
+                } else {
+                    t
+                };
+                let keys: Vec<u64> = (0..(step % 7 + 1)).map(|i| (step * 11 + i) % 29).collect();
+                engine.advance_to(sample_t);
+                engine.update_batch(&keys);
+                wrapped.record_batch_at(&keys, sample_t);
+            }
+            for key in 0..29u64 {
+                assert_eq!(
+                    engine.estimate(&key),
+                    wrapped.estimate(&key),
+                    "key {key} diverged at {shards} shards"
+                );
+            }
+            let engine_clock = &engine.grain_clocks().expect("clock configured")[0];
+            assert_eq!(engine_clock.last_tick(), wrapped.clock().last_tick());
+            assert_eq!(engine_clock.clamped(), wrapped.clock().clamped());
+            assert!(engine_clock.clamped() > 0, "test must exercise the clamp");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with_grain_clock")]
+    fn advance_to_without_clock_panics() {
+        let mut sharded: ShardedEstimator<u64> = ShardedEstimator::exact(1, 100);
+        sharded.advance_to(5);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //!   backward-shift deletion exists for (a shift bug shows up as a key
 //!   becoming unreachable or a stale value resurfacing after later
 //!   inserts probe over the hole).
-//! * The SWAR word-scan `probe` vs the byte-at-a-time `probe_reference`
-//!   on arbitrary insert/remove/get interleavings, under backward-shift
-//!   churn, and on tables filled to the full 7/8 load cap: both scans
+//! * The group-scan `probe` (SSE2 on x86_64, SWAR elsewhere) vs the
+//!   forced-SWAR `probe_swar` vs the byte-at-a-time `probe_reference` on
+//!   arbitrary insert/remove/get interleavings, under backward-shift
+//!   churn, and on tables filled to the full 7/8 load cap: all scans
 //!   must return the *identical* `Ok(slot)` / `Err((empty, fp))` for
 //!   every key, present or absent.
 //! * [`StreamSummary`] (CompactMap index + hot/cold SoA slots) vs a
@@ -80,12 +81,21 @@ fn run_map_ops(ops: &[(u8, u8)]) {
     }
 }
 
-/// Asserts the SWAR `probe` and the byte-scan `probe_reference` agree on
-/// `key` — same hit slot on a present key, same terminating empty slot
-/// and fingerprint on an absent one.
+/// Asserts all three probe paths agree on `key` — the active group scan
+/// (`probe`: SSE2 on x86_64, SWAR elsewhere), the portable SWAR backend
+/// forced via `probe_swar`, and the byte-scan `probe_reference` — same hit
+/// slot on a present key, same terminating empty slot and fingerprint on
+/// an absent one. On an SSE2 build this pins SIMD ≡ SWAR ≡ byte loop in
+/// one run; on the `memento_no_simd` / non-x86_64 build `probe` *is* the
+/// SWAR backend and the assertion degenerates to the two-way pin.
 fn assert_probes_agree(map: &CompactMap<u64, u32>, key: u64, context: &str) {
     assert_eq!(
         map.probe(&key),
+        map.probe_reference(&key),
+        "group probe diverges from the byte scan for key {key} ({context})"
+    );
+    assert_eq!(
+        map.probe_swar(&key),
         map.probe_reference(&key),
         "SWAR probe diverges from the byte scan for key {key} ({context})"
     );

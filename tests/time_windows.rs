@@ -5,6 +5,11 @@
 //! clock-policy edge cases (clamp-to-last, idle-gap wholesale clears,
 //! grain-boundary off-by-ones) and the PR 8 residual (`freeze_delta`
 //! across a time-advance that degrades the journal to a rebuild).
+//!
+//! PR 10 extends the suite with the chunked-ingest differentials: the
+//! run-structured `record_timed` (one clock consult per same-grain run)
+//! against per-packet `record_at`, and the engine-level
+//! `ShardedEstimator::advance_to` against the `TimedWindow` wrapper.
 
 use memento::sketches::{ExactTimedWindow, ExactWindow};
 use memento::traits::SlidingWindowEstimator;
@@ -101,6 +106,10 @@ where
         );
     }
 }
+
+/// A labelled engine constructor for the engine-vs-wrapper differential
+/// test, which builds each engine twice (once bare, once wrapped).
+type EngineCtor = (&'static str, Box<dyn Fn() -> ShardedEstimator<u64>>);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(8)))]
@@ -251,6 +260,148 @@ proptest! {
         prop_assert_eq!(wild.clock().last_tick(), tamed.clock().last_tick());
         prop_assert_eq!(wild.position(), tamed.position());
         assert_estimates_equal(&wild, &tamed, "wild vs pre-clamped clock");
+    }
+
+    /// PR 10 chunked ingest: `record_timed`'s run-structured loop (one
+    /// clock consult per same-grain run, the tail handled by the hoisted
+    /// in-grain fast path) is pinned two ways across grain geometries,
+    /// chunk sizes, grain boundaries landing mid-chunk, and freely
+    /// non-monotone timestamps (so the clamp path runs inside run tails,
+    /// not just run heads):
+    ///
+    /// 1. τ = 1 (RNG-free): chunked `record_timed` ≡ per-packet
+    ///    `record_at`, bit-for-bit on estimates, position, clamp
+    ///    diagnostics and wholesale-clear counts.
+    /// 2. τ < 1: chunked `record_timed` ≡ the pre-hoist per-packet
+    ///    `observe` schedule fed through the same batch path — isolating
+    ///    exactly what PR 10 changed (the clock consult), with the RNG
+    ///    stream held identical. (Per-packet `record_at` draws the RNG
+    ///    differently at τ < 1 by long-standing design; see
+    ///    `record_timed`'s docs.)
+    #[test]
+    fn chunked_record_timed_equals_per_packet_record_at(
+        raw in prop::collection::vec((0u64..12, 0u64..UNIVERSE), 100..1_200),
+        chunk in 1usize..300,
+        grains_exp in 0u32..4,
+    ) {
+        let window = 650usize;
+        let grains = 1u64 << (2 * grains_exp);
+        let map = GrainMap::new(620, window as u64, grains);
+        // Monotone base stream, then re-introduced inversions: some stay
+        // inside the current grain (tail clamps), some cross backwards
+        // over a grain boundary (head clamps).
+        let packets: Vec<(u64, u64)> = decode_timed(&raw, map.grain_span())
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, key))| {
+                if i % 9 == 8 {
+                    (t.saturating_sub(1 + key * 7 % (2 * map.grain_span())), key)
+                } else {
+                    (t, key)
+                }
+            })
+            .collect();
+
+        // Leg 1: τ = 1, chunked vs per-packet record_at.
+        let mut chunked = TimedWindow::new(Wcss::new(20, window), map);
+        for part in packets.chunks(chunk) {
+            chunked.record_timed(part);
+        }
+        let mut per_packet = TimedWindow::new(Wcss::new(20, window), map);
+        for &(t, key) in &packets {
+            per_packet.record_at(key, t);
+        }
+        prop_assert_eq!(chunked.position(), per_packet.position());
+        prop_assert_eq!(chunked.clock().last_tick(), per_packet.clock().last_tick());
+        prop_assert_eq!(chunked.clock().clamped(), per_packet.clock().clamped());
+        prop_assert_eq!(
+            chunked.whole_window_advances(),
+            per_packet.whole_window_advances()
+        );
+        assert_estimates_equal(&chunked, &per_packet, "chunked vs per-packet (τ = 1)");
+
+        // Leg 2: τ < 1, chunked vs the per-packet observe schedule through
+        // identical update_batch_positioned calls (same chunking, so the
+        // persistent geometric-skip state stays aligned).
+        let mut memento_chunked = TimedWindow::new(Memento::new(20, window, 0.25, 31), map);
+        for part in packets.chunks(chunk) {
+            memento_chunked.record_timed(part);
+        }
+        let mut manual = Memento::new(20, window, 0.25, 31);
+        let mut clock = GrainClock::new(map);
+        let mut position = Memento::processed(&manual);
+        for part in packets.chunks(chunk) {
+            let mut gaps = Vec::with_capacity(part.len());
+            let mut keys = Vec::with_capacity(part.len());
+            for &(t, key) in part {
+                let n = clock.observe(t, position);
+                gaps.push(n);
+                keys.push(key);
+                position += n + 1;
+            }
+            manual.update_batch_positioned(&gaps, &keys);
+        }
+        prop_assert_eq!(memento_chunked.position(), position);
+        prop_assert_eq!(memento_chunked.clock().last_tick(), clock.last_tick());
+        prop_assert_eq!(memento_chunked.clock().clamped(), clock.clamped());
+        assert_estimates_equal(
+            &memento_chunked,
+            &manual,
+            "chunked vs per-packet observe schedule (τ < 1)",
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(4)))]
+
+    /// PR 10 engine time plane: a `ShardedEstimator` built with
+    /// `with_grain_clock` and driven by `advance_to(t)` + `update_batch`
+    /// answers bit-for-bit like the same engine wrapped in a `TimedWindow`
+    /// and fed `record_batch_at` — exact and WCSS at N ∈ {1, 2, 4}, with
+    /// non-monotone batch timestamps exercising the clamp on both sides.
+    #[test]
+    fn engine_advance_to_matches_timed_window_wrapper(
+        raw in prop::collection::vec((0u64..10, 0u64..UNIVERSE), 60..400),
+        grains_exp in 0u32..3,
+    ) {
+        let window = 800usize;
+        let grains = 1u64 << (2 * grains_exp);
+        let map = GrainMap::new(560, window as u64, grains);
+        let packets = decode_timed(&raw, map.grain_span());
+        let batches: Vec<(u64, Vec<u64>)> = packets
+            .chunks(3)
+            .enumerate()
+            .map(|(i, part)| {
+                let t = if i % 7 == 6 {
+                    part[0].0.saturating_sub(map.grain_span() + 3)
+                } else {
+                    part[0].0
+                };
+                (t, part.iter().map(|&(_, k)| k).collect())
+            })
+            .collect();
+
+        for shards in [1usize, 2, 4] {
+            let engines: [EngineCtor; 2] = [
+                ("exact", Box::new(move || ShardedEstimator::exact(shards, window))),
+                ("wcss", Box::new(move || ShardedEstimator::wcss(shards, 16, window))),
+            ];
+            for (name, make) in &engines {
+                let mut engine = make().with_grain_clock(map);
+                let mut wrapped = TimedWindow::new(make(), map);
+                for (t, keys) in &batches {
+                    engine.advance_to(*t);
+                    engine.update_batch(keys);
+                    wrapped.record_batch_at(keys, *t);
+                }
+                let context = format!("{name}@{shards}");
+                assert_estimates_equal(&engine, &wrapped, &context);
+                let clock = &engine.grain_clocks().expect("clock configured")[0];
+                prop_assert_eq!(clock.last_tick(), wrapped.clock().last_tick());
+                prop_assert_eq!(clock.clamped(), wrapped.clock().clamped());
+            }
+        }
     }
 }
 
